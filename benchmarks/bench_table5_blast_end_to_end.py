@@ -1,0 +1,91 @@
+"""Table 5 — end-to-end BLAST run checkpointing to the local disk vs. stdchk.
+
+Paper: a long BLAST run (checkpointing every 30 minutes through BLCR) writes
+3.55 TB of checkpoint data to the local disk over ~462,141 s; the same run
+against stdchk (four GigE benefactors, sliding window + FsCH) finishes 1.3%
+faster, spends 27% less time checkpointing and stores/transfers 69% less
+data (1.14 TB).
+
+Reproduction: the application-run model replays the same structure — a fixed
+computation time plus one checkpoint per interval — against the two storage
+targets, using the stdchk write bandwidth from the Figure 2 simulation and
+the paper's measured dedup ratio for the 30-minute BLCR images.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import lan_testbed, simulate_write
+from repro.util.config import WriteProtocol
+from repro.util.units import MB, MiB
+from repro.workloads import ApplicationModel, SimulatedApplicationRun
+
+from benchmarks.conftest import print_table
+
+PAPER = {
+    "local_total_s": 462_141, "stdchk_total_s": 455_894,
+    "local_ckpt_s": 22_733, "stdchk_ckpt_s": 16_497,
+    "local_tb": 3.55, "stdchk_tb": 1.14,
+    "improvement_total_pct": 1.3, "improvement_ckpt_pct": 27.0,
+    "improvement_data_pct": 69.0,
+}
+
+
+def measured_stdchk_bandwidth() -> float:
+    """stdchk's effective checkpoint bandwidth on the 4-benefactor testbed.
+
+    The achieved storage bandwidth (time until the image is safe in stdchk)
+    is the conservative metric for how long each checkpoint interval is
+    extended; the paper's ~110 MB/s figure corresponds to it.
+    """
+    cluster = lan_testbed(benefactor_count=4)
+    result = simulate_write(cluster, WriteProtocol.SLIDING_WINDOW,
+                            280 * MB, 4, buffer_size=64 * MiB)
+    return result.achieved_storage_bandwidth
+
+
+def run_comparison():
+    run = SimulatedApplicationRun(
+        model=ApplicationModel(),
+        local_bandwidth=86.2 * MB,
+        stdchk_oab=measured_stdchk_bandwidth(),
+    )
+    return run.comparison()
+
+
+def test_table5_report(benchmark):
+    comparison = run_comparison()
+    rows = [
+        {"metric": "total execution time (s)",
+         "local": comparison["local"]["total_execution_time_s"],
+         "stdchk": comparison["stdchk"]["total_execution_time_s"],
+         "improvement_%": comparison["improvement"]["total_execution_time_pct"],
+         "paper_improvement_%": PAPER["improvement_total_pct"]},
+        {"metric": "checkpointing time (s)",
+         "local": comparison["local"]["checkpointing_time_s"],
+         "stdchk": comparison["stdchk"]["checkpointing_time_s"],
+         "improvement_%": comparison["improvement"]["checkpointing_time_pct"],
+         "paper_improvement_%": PAPER["improvement_ckpt_pct"]},
+        {"metric": "data size (TB)",
+         "local": comparison["local"]["data_size_tb"],
+         "stdchk": comparison["stdchk"]["data_size_tb"],
+         "improvement_%": comparison["improvement"]["data_size_pct"],
+         "paper_improvement_%": PAPER["improvement_data_pct"]},
+    ]
+    print_table("Table 5 — BLAST checkpointed to local disk vs stdchk", rows)
+
+    improvement = comparison["improvement"]
+    # Total-runtime gain is small (checkpointing is a small fraction of the run).
+    assert 0.3 < improvement["total_execution_time_pct"] < 5.0
+    # Checkpointing itself is substantially faster on stdchk.
+    assert improvement["checkpointing_time_pct"] == pytest.approx(
+        PAPER["improvement_ckpt_pct"], abs=12.0
+    )
+    # FsCH removes about two thirds of the stored/transferred bytes.
+    assert improvement["data_size_pct"] == pytest.approx(
+        PAPER["improvement_data_pct"], abs=2.0
+    )
+    # Data volumes land near the paper's absolute numbers.
+    assert comparison["local"]["data_size_tb"] == pytest.approx(PAPER["local_tb"], rel=0.05)
+    assert comparison["stdchk"]["data_size_tb"] == pytest.approx(PAPER["stdchk_tb"], rel=0.05)

@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (section V).  The modules use ``pytest-benchmark`` for timing and
+print the regenerated rows/series with :func:`print_table` so a plain
+``pytest benchmarks/ --benchmark-only -s`` run shows the reproduced results
+next to the paper's numbers.
+
+Scaling: the paper's experiments move hundreds of gigabytes across a 28-node
+Gigabit testbed.  The functional benchmarks scale data sizes down (and note
+it in their output); the simulation benchmarks run at full scale because the
+discrete-event substrate only models transfer times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import pytest
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]],
+                note: str = "") -> None:
+    """Pretty-print one reproduced table/figure as aligned columns."""
+    print()
+    print(f"== {title} ==")
+    if note:
+        print(f"   ({note})")
+    if not rows:
+        print("   <no rows>")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    print("   " + header)
+    print("   " + "-" * len(header))
+    for row in rows:
+        print("   " + "  ".join(_fmt(row.get(column)).ljust(widths[column])
+                                for column in columns))
+    print()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

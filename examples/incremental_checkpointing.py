@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Incremental checkpointing: FsCH similarity detection cuts storage and network cost.
+
+A BLAST-like application checkpointed through a BLCR-style library produces
+successive images that are largely similar.  With the FsCH heuristic enabled,
+stdchk names chunks by their content, detects the chunks already stored by
+the previous version and only ships the new ones — the new version's
+chunk-map simply references the old chunks copy-on-write.
+
+The example writes a synthetic BLCR trace twice — once with similarity
+detection disabled, once with FsCH — and compares the bytes pushed over the
+network and the bytes physically stored, then shows the offline heuristic
+comparison (FsCH vs CbCH) on the same trace.
+
+Run with:  python examples/incremental_checkpointing.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CheckpointName,
+    ContentBasedCompareByHash,
+    FixedSizeCompareByHash,
+    StdchkConfig,
+    StdchkPool,
+    trace_similarity,
+)
+from repro.util.config import SimilarityHeuristic
+from repro.util.units import MiB, format_size
+from repro.workloads import blast_blcr_trace
+
+IMAGES = 6
+IMAGE_SIZE = 16 * MiB
+
+
+def write_trace(similarity: SimilarityHeuristic) -> dict:
+    config = StdchkConfig(
+        chunk_size=1 * MiB,
+        stripe_width=4,
+        replication_level=1,
+        similarity_heuristic=similarity,
+    )
+    pool = StdchkPool(benefactor_count=4, config=config)
+    client = pool.client("blast")
+    trace = blast_blcr_trace(interval_min=5, image_count=IMAGES, image_size=IMAGE_SIZE)
+    for index, image in enumerate(trace):
+        client.write_checkpoint(CheckpointName("blast", 0, index + 1), image)
+    stats = client.lifetime_stats
+    return {
+        "written": stats.bytes_written,
+        "pushed": stats.bytes_pushed,
+        "stored": pool.stored_bytes(),
+    }
+
+
+def main() -> None:
+    plain = write_trace(SimilarityHeuristic.NONE)
+    fsch = write_trace(SimilarityHeuristic.FSCH)
+
+    print(f"checkpoint trace: {IMAGES} BLCR-style images of {format_size(IMAGE_SIZE)}")
+    print(f"without similarity detection: pushed {format_size(plain['pushed'])}, "
+          f"stored {format_size(plain['stored'])}")
+    print(f"with FsCH                   : pushed {format_size(fsch['pushed'])}, "
+          f"stored {format_size(fsch['stored'])}")
+    saved = 1 - fsch["pushed"] / plain["pushed"]
+    print(f"network and storage effort reduced by {saved:.0%} "
+          "(the paper reports ~24% for the 5-minute BLCR trace)")
+
+    # Offline heuristic study on the same images (Table 3 methodology).
+    images = blast_blcr_trace(5, image_count=4, image_size=8 * MiB).materialize()
+    print("\nheuristic comparison on the same trace (smaller sample):")
+    for detector in (FixedSizeCompareByHash(1 * MiB),
+                     FixedSizeCompareByHash(256 * 1024),
+                     ContentBasedCompareByHash(20, 14, overlap=True)):
+        result = trace_similarity(detector, images)
+        print(f"  {detector.name:28s} similarity {result.average_similarity:6.1%}  "
+              f"throughput {result.throughput_mbps:8.1f} MB/s")
+    print("\nFsCH wins on throughput, CbCH on detected similarity — stdchk "
+          "integrates FsCH (the paper's choice) because write throughput is "
+          "the primary success metric.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro: a reproduction of *stdchk: A Checkpoint Storage System for Desktop
+Grid Computing* (Al Kiswany, Ripeanu, Vazhkudai, Gharaibeh -- ICDCS 2008).
+
+The package provides:
+
+* a functional, in-process distributed checkpoint storage system (metadata
+  manager, benefactor nodes, client proxy, POSIX-like facade) implementing
+  the paper's design: striped chunked writes, the three write protocols,
+  incremental checkpointing by compare-by-hash, tunable replication, session
+  semantics, garbage collection and retention policies;
+* the two similarity-detection heuristics (FsCH and CbCH) and the workload
+  generators needed to evaluate them;
+* a discrete-event simulation substrate that models the paper's testbeds and
+  regenerates the throughput figures;
+* a benchmark harness (under ``benchmarks/``) with one target per table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import StdchkPool, StdchkConfig
+
+    pool = StdchkPool(benefactor_count=4)
+    fs = pool.filesystem()
+    fs.write_file("/app/app.N0.T1", b"checkpoint image bytes")
+    image = fs.read_file("/app/app.N0.T1")
+"""
+
+from repro.pool import StdchkPool, PoolStats
+from repro.util.config import (
+    BenefactorConfig,
+    RetentionConfig,
+    RetentionPolicyKind,
+    SimilarityHeuristic,
+    StdchkConfig,
+    WriteProtocol,
+    WriteSemantics,
+)
+from repro.util.naming import CheckpointName, parse_checkpoint_name
+from repro.client.proxy import ClientProxy
+from repro.fs.filesystem import StdchkFilesystem
+from repro.manager.manager import MetadataManager
+from repro.benefactor.benefactor import Benefactor
+from repro.similarity import (
+    ContentBasedCompareByHash,
+    FixedSizeCompareByHash,
+    trace_similarity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StdchkPool",
+    "PoolStats",
+    "StdchkConfig",
+    "BenefactorConfig",
+    "RetentionConfig",
+    "RetentionPolicyKind",
+    "SimilarityHeuristic",
+    "WriteProtocol",
+    "WriteSemantics",
+    "CheckpointName",
+    "parse_checkpoint_name",
+    "ClientProxy",
+    "StdchkFilesystem",
+    "MetadataManager",
+    "Benefactor",
+    "FixedSizeCompareByHash",
+    "ContentBasedCompareByHash",
+    "trace_similarity",
+    "__version__",
+]

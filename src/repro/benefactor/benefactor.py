@@ -1,0 +1,177 @@
+"""The benefactor node.
+
+A benefactor contributes scavenged storage.  It registers with the manager
+using soft-state registration (periodic heartbeats carrying its free space),
+serves chunk put/get/delete requests from clients and peers, copies chunks to
+other benefactors when the manager hands it a shadow chunk-map, and
+participates in the garbage-collection exchange by periodically reporting the
+chunks it holds and deleting the ones the manager declares dead.
+
+The node can be toggled offline/online to model desktop volatility (owner
+reclaiming the machine, crash): while offline every data-path operation
+raises :class:`~repro.exceptions.BenefactorOfflineError`.  A crash
+additionally wipes a memory-backed store, modelling loss of node-local data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.benefactor.chunk_store import ChunkStore, MemoryChunkStore
+from repro.core.chunk import Chunk, ChunkId
+from repro.exceptions import BenefactorOfflineError, ChunkNotFoundError
+from repro.transport.base import Endpoint, Transport
+from repro.util.clock import Clock, SystemClock
+from repro.util.units import GiB
+
+
+class Benefactor(Endpoint):
+    """A storage donor node."""
+
+    def __init__(
+        self,
+        benefactor_id: str,
+        transport: Transport,
+        store: Optional[ChunkStore] = None,
+        capacity: int = 10 * GiB,
+        clock: Optional[Clock] = None,
+        address: Optional[str] = None,
+    ) -> None:
+        self.benefactor_id = benefactor_id
+        self.store = store if store is not None else MemoryChunkStore(capacity)
+        self.transport = transport
+        self.clock = clock if clock is not None else SystemClock()
+        self.address = address if address is not None else f"benefactor://{benefactor_id}"
+        self.online = True
+        #: Counters exposed for tests and benchmarks.
+        self.stats: Dict[str, int] = {
+            "puts": 0,
+            "gets": 0,
+            "deletes": 0,
+            "replications_out": 0,
+            "bytes_in": 0,
+            "bytes_out": 0,
+        }
+        self.transport.register(self.address, self)
+
+    # -- lifecycle -----------------------------------------------------------
+    def _require_online(self) -> None:
+        if not self.online:
+            raise BenefactorOfflineError(
+                f"benefactor {self.benefactor_id} is offline"
+            )
+
+    def go_offline(self) -> None:
+        """Owner reclaimed the machine: stop serving, keep stored chunks."""
+        self.online = False
+
+    def go_online(self) -> None:
+        self.online = True
+
+    def crash(self, lose_data: bool = False) -> None:
+        """Simulate a crash.  ``lose_data`` wipes the store (disk loss)."""
+        self.online = False
+        if lose_data:
+            for chunk_id in self.store.chunk_ids():
+                self.store.delete(chunk_id)
+
+    # -- registration payload --------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """The soft-state registration record sent with every heartbeat."""
+        self._require_online()
+        return {
+            "benefactor_id": self.benefactor_id,
+            "address": self.address,
+            "free_space": self.store.free_space,
+            "used_space": self.store.used_space,
+            "chunk_count": self.store.chunk_count,
+            "timestamp": self.clock.now(),
+        }
+
+    # -- data path ----------------------------------------------------------------
+    def put_chunk(self, chunk_id: ChunkId, data: bytes) -> Dict[str, object]:
+        """Store one chunk; returns the updated free space."""
+        self._require_online()
+        chunk = Chunk(chunk_id=chunk_id, data=data)
+        chunk.verify()
+        self.store.put(chunk)
+        self.stats["puts"] += 1
+        self.stats["bytes_in"] += len(data)
+        return {"stored": True, "free_space": self.store.free_space}
+
+    def get_chunk(self, chunk_id: ChunkId) -> bytes:
+        """Return the payload of one chunk."""
+        self._require_online()
+        chunk = self.store.get(chunk_id)
+        self.stats["gets"] += 1
+        self.stats["bytes_out"] += chunk.size
+        return chunk.data
+
+    def has_chunk(self, chunk_id: ChunkId) -> bool:
+        self._require_online()
+        return self.store.contains(chunk_id)
+
+    def delete_chunk(self, chunk_id: ChunkId) -> bool:
+        self._require_online()
+        deleted = self.store.delete(chunk_id)
+        if deleted:
+            self.stats["deletes"] += 1
+        return deleted
+
+    def delete_chunks(self, chunk_ids: Sequence[ChunkId]) -> int:
+        """Bulk delete; returns the number of chunks actually removed."""
+        self._require_online()
+        removed = 0
+        for chunk_id in chunk_ids:
+            if self.store.delete(chunk_id):
+                removed += 1
+                self.stats["deletes"] += 1
+        return removed
+
+    def list_chunks(self) -> List[ChunkId]:
+        """Inventory report used by the garbage-collection exchange."""
+        self._require_online()
+        return self.store.chunk_ids()
+
+    # -- replication ------------------------------------------------------------------
+    def replicate_to(self, chunk_ids: Sequence[ChunkId],
+                     target_address: str) -> Dict[str, List[ChunkId]]:
+        """Copy ``chunk_ids`` from this node to the benefactor at ``target_address``.
+
+        Used by the manager's background replication: the manager sends the
+        shadow chunk-map to source benefactors, which push copies directly to
+        the targets (the data never flows through the manager).  Returns the
+        ids that were copied and the ids that were missing locally.
+        """
+        self._require_online()
+        copied: List[ChunkId] = []
+        missing: List[ChunkId] = []
+        for chunk_id in chunk_ids:
+            try:
+                chunk = self.store.get(chunk_id)
+            except ChunkNotFoundError:
+                missing.append(chunk_id)
+                continue
+            self.transport.call(
+                target_address, "put_chunk", chunk_id=chunk.chunk_id, data=chunk.data
+            )
+            self.stats["replications_out"] += 1
+            self.stats["bytes_out"] += chunk.size
+            copied.append(chunk_id)
+        return {"copied": copied, "missing": missing}
+
+    # -- convenience -------------------------------------------------------------------
+    @property
+    def free_space(self) -> int:
+        return self.store.free_space
+
+    @property
+    def used_space(self) -> int:
+        return self.store.used_space
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "online" if self.online else "offline"
+        return (
+            f"Benefactor({self.benefactor_id!r}, {state}, "
+            f"chunks={self.store.chunk_count})"
+        )

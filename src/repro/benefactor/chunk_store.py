@@ -1,0 +1,184 @@
+"""Chunk stores: where a benefactor keeps the chunks it hosts.
+
+Two backends are provided.  The memory store is used by tests, examples and
+benchmarks; the disk store maps each chunk to one file under the contributed
+directory and is what a real deployment on scavenged desktop space would use.
+Both enforce the contributed-space limit and expose the same interface.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from repro.core.chunk import Chunk, ChunkId
+from repro.exceptions import ChunkNotFoundError, StoreFullError
+
+
+class ChunkStore(ABC):
+    """Abstract chunk container with a space budget."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.RLock()
+
+    # -- interface ---------------------------------------------------------
+    @abstractmethod
+    def _read(self, chunk_id: ChunkId) -> bytes:
+        """Return the payload of ``chunk_id`` (raises KeyError if missing)."""
+
+    @abstractmethod
+    def _write(self, chunk_id: ChunkId, data: bytes) -> None:
+        """Persist ``data`` under ``chunk_id``."""
+
+    @abstractmethod
+    def _delete(self, chunk_id: ChunkId) -> None:
+        """Remove ``chunk_id`` (raises KeyError if missing)."""
+
+    @abstractmethod
+    def _contains(self, chunk_id: ChunkId) -> bool:
+        """True when ``chunk_id`` is stored."""
+
+    @abstractmethod
+    def _chunk_ids(self) -> List[ChunkId]:
+        """Every stored chunk id."""
+
+    @abstractmethod
+    def _used(self) -> int:
+        """Bytes currently consumed."""
+
+    # -- public API -----------------------------------------------------------
+    def put(self, chunk: Chunk) -> None:
+        """Store a chunk; storing an already-present chunk id is a no-op.
+
+        Idempotence matters for content-addressed chunks: several versions of
+        a checkpoint may legitimately push the same chunk id.
+        """
+        with self._lock:
+            if self._contains(chunk.chunk_id):
+                return
+            if self._used() + chunk.size > self.capacity:
+                raise StoreFullError(
+                    f"store over capacity: used={self._used()}, "
+                    f"incoming={chunk.size}, capacity={self.capacity}"
+                )
+            self._write(chunk.chunk_id, chunk.data)
+
+    def get(self, chunk_id: ChunkId) -> Chunk:
+        with self._lock:
+            if not self._contains(chunk_id):
+                raise ChunkNotFoundError(f"chunk not stored here: {chunk_id}")
+            return Chunk(chunk_id=chunk_id, data=self._read(chunk_id))
+
+    def delete(self, chunk_id: ChunkId) -> bool:
+        """Delete a chunk; returns False when it was not present."""
+        with self._lock:
+            if not self._contains(chunk_id):
+                return False
+            self._delete(chunk_id)
+            return True
+
+    def contains(self, chunk_id: ChunkId) -> bool:
+        with self._lock:
+            return self._contains(chunk_id)
+
+    def chunk_ids(self) -> List[ChunkId]:
+        with self._lock:
+            return list(self._chunk_ids())
+
+    @property
+    def used_space(self) -> int:
+        with self._lock:
+            return self._used()
+
+    @property
+    def free_space(self) -> int:
+        with self._lock:
+            return max(self.capacity - self._used(), 0)
+
+    @property
+    def chunk_count(self) -> int:
+        with self._lock:
+            return len(self._chunk_ids())
+
+
+class MemoryChunkStore(ChunkStore):
+    """Chunks held in a dictionary; fast and hermetic for tests."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._chunks: Dict[ChunkId, bytes] = {}
+
+    def _read(self, chunk_id: ChunkId) -> bytes:
+        return self._chunks[chunk_id]
+
+    def _write(self, chunk_id: ChunkId, data: bytes) -> None:
+        self._chunks[chunk_id] = data
+
+    def _delete(self, chunk_id: ChunkId) -> None:
+        del self._chunks[chunk_id]
+
+    def _contains(self, chunk_id: ChunkId) -> bool:
+        return chunk_id in self._chunks
+
+    def _chunk_ids(self) -> List[ChunkId]:
+        return list(self._chunks)
+
+    def _used(self) -> int:
+        return sum(len(data) for data in self._chunks.values())
+
+
+class DiskChunkStore(ChunkStore):
+    """Chunks stored as individual files under a contributed directory.
+
+    Chunk ids may contain ``:`` (content-addressed ids are ``sha1:<hex>``),
+    which is replaced by ``_`` in file names.  A small index of sizes avoids
+    stat-ing every file to answer space queries.
+    """
+
+    def __init__(self, root: str, capacity: int) -> None:
+        super().__init__(capacity)
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._sizes: Dict[ChunkId, int] = {}
+        self._load_existing()
+
+    def _path(self, chunk_id: ChunkId) -> str:
+        return os.path.join(self.root, chunk_id.replace(":", "_").replace("/", "_"))
+
+    def _load_existing(self) -> None:
+        """Rebuild the size index from files already on disk (restart path)."""
+        for name in os.listdir(self.root):
+            path = os.path.join(self.root, name)
+            if os.path.isfile(path):
+                chunk_id = name.replace("_", ":", 1) if name.startswith("sha1_") else name
+                self._sizes[chunk_id] = os.path.getsize(path)
+
+    def _read(self, chunk_id: ChunkId) -> bytes:
+        with open(self._path(chunk_id), "rb") as handle:
+            return handle.read()
+
+    def _write(self, chunk_id: ChunkId, data: bytes) -> None:
+        path = self._path(chunk_id)
+        temporary = path + ".tmp"
+        with open(temporary, "wb") as handle:
+            handle.write(data)
+        os.replace(temporary, path)
+        self._sizes[chunk_id] = len(data)
+
+    def _delete(self, chunk_id: ChunkId) -> None:
+        os.remove(self._path(chunk_id))
+        self._sizes.pop(chunk_id, None)
+
+    def _contains(self, chunk_id: ChunkId) -> bool:
+        return chunk_id in self._sizes
+
+    def _chunk_ids(self) -> List[ChunkId]:
+        return list(self._sizes)
+
+    def _used(self) -> int:
+        return sum(self._sizes.values())

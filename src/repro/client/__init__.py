@@ -1,0 +1,31 @@
+"""Client proxy: the application-facing side of stdchk.
+
+The client proxy opens write sessions with the manager, moves chunk data
+directly to benefactors using one of the three write-optimized protocols,
+commits chunk-maps at close time (session semantics), and reassembles files
+on reads.  The FS facade (``repro.fs``) sits on top of this package and maps
+POSIX-style calls onto it.
+"""
+
+from repro.client.session import ChunkPusher, WriteStats
+from repro.client.write_protocols import (
+    CompleteLocalWriteSession,
+    IncrementalWriteSession,
+    SlidingWindowWriteSession,
+    WriteSession,
+    make_write_session,
+)
+from repro.client.read_path import StripedReader
+from repro.client.proxy import ClientProxy
+
+__all__ = [
+    "ChunkPusher",
+    "WriteStats",
+    "WriteSession",
+    "CompleteLocalWriteSession",
+    "IncrementalWriteSession",
+    "SlidingWindowWriteSession",
+    "make_write_session",
+    "StripedReader",
+    "ClientProxy",
+]

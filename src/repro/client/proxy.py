@@ -1,0 +1,219 @@
+"""The client proxy: application-facing entry point of the stdchk library.
+
+A :class:`ClientProxy` wraps one application's (or one desktop-grid job's)
+interaction with the stdchk pool: namespace operations, write sessions under
+any of the three write protocols, whole-file and range reads, version
+inspection and restart support.  The POSIX-like facade in ``repro.fs`` builds
+on this class; applications that prefer an explicit API can use it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.client.read_path import StripedReader
+from repro.client.session import WriteStats
+from repro.client.write_protocols import WriteSession, make_write_session
+from repro.core.chunk_map import ChunkMap
+from repro.exceptions import FileNotFoundInStdchkError
+from repro.transport.base import Transport
+from repro.util.clock import Clock, SystemClock
+from repro.util.config import SimilarityHeuristic, StdchkConfig
+from repro.util.naming import CheckpointName, parse_checkpoint_name
+
+
+class ClientProxy:
+    """One client's connection to a stdchk pool."""
+
+    def __init__(
+        self,
+        client_id: str,
+        transport: Transport,
+        manager_address: str,
+        config: Optional[StdchkConfig] = None,
+        clock: Optional[Clock] = None,
+        spool_dir: Optional[str] = None,
+    ) -> None:
+        self.client_id = client_id
+        self.transport = transport
+        self.manager_address = manager_address
+        self.config = config if config is not None else StdchkConfig()
+        self.clock = clock if clock is not None else SystemClock()
+        self.spool_dir = spool_dir
+        #: Aggregated statistics across every session opened by this client.
+        self.lifetime_stats = WriteStats()
+
+    # -- manager sugar -------------------------------------------------------
+    def _manager(self, method: str, **payload):
+        return self.transport.call(self.manager_address, method, **payload)
+
+    # -- namespace -------------------------------------------------------------
+    def mkdir(self, path: str, retention_kind: Optional[str] = None,
+              purge_after: float = 3600.0, keep_last: int = 1) -> None:
+        """Create an application folder, optionally with a retention policy."""
+        self._manager(
+            "make_folder",
+            path=path,
+            retention_kind=retention_kind,
+            purge_after=purge_after,
+            keep_last=keep_last,
+        )
+
+    def set_retention(self, path: str, retention_kind: str,
+                      purge_after: float = 3600.0, keep_last: int = 1) -> None:
+        self._manager(
+            "set_retention",
+            path=path,
+            retention_kind=retention_kind,
+            purge_after=purge_after,
+            keep_last=keep_last,
+        )
+
+    def listdir(self, path: str) -> List[str]:
+        return self._manager("list_dir", path=path)
+
+    def exists(self, path: str) -> bool:
+        return self._manager("exists", path=path)
+
+    def stat(self, path: str) -> Dict[str, object]:
+        return self._manager("stat", path=path)
+
+    def delete(self, path: str) -> Dict[str, object]:
+        return self._manager("delete", path=path)
+
+    def versions(self, path: str) -> List[Dict[str, object]]:
+        return self._manager("get_versions", path=path)
+
+    # -- writes ----------------------------------------------------------------------
+    def open_write(self, path: str, expected_size: int = 0,
+                   producer: str = "", timestep: Optional[int] = None,
+                   stripe_width: Optional[int] = None,
+                   replication_level: Optional[int] = None) -> WriteSession:
+        """Open a write session for ``path`` under the configured protocol.
+
+        When incremental checkpointing (FsCH) is enabled the previous
+        version's chunk inventory is fetched so unchanged chunks are never
+        re-pushed.
+        """
+        session_info = self._manager(
+            "create_session",
+            path=path,
+            client_id=self.client_id,
+            expected_size=expected_size,
+            stripe_width=stripe_width,
+            replication_level=replication_level,
+        )
+        existing_chunks: Dict[str, List[str]] = {}
+        if self.config.similarity_heuristic is not SimilarityHeuristic.NONE:
+            answer = self._manager("get_existing_chunks", path=path)
+            existing_chunks = dict(answer.get("chunks", {}))
+        return make_write_session(
+            protocol=self.config.write_protocol,
+            transport=self.transport,
+            manager_address=self.manager_address,
+            session_info=session_info,
+            config=self.config,
+            existing_chunks=existing_chunks,
+            clock=self.clock,
+            producer=producer,
+            timestep=timestep,
+            spool_dir=self.spool_dir,
+        )
+
+    def write_file(self, path: str, data: bytes, producer: str = "",
+                   timestep: Optional[int] = None,
+                   block_size: int = 0) -> WriteSession:
+        """Convenience: write ``data`` to ``path`` in one call and close.
+
+        ``block_size`` simulates the application's own write granularity
+        (applications usually write in small blocks while remote storage is
+        accessed in ~1 MB chunks); 0 writes everything in one call.
+        """
+        session = self.open_write(
+            path, expected_size=len(data), producer=producer, timestep=timestep
+        )
+        try:
+            if block_size and block_size > 0:
+                for start in range(0, len(data), block_size):
+                    session.write(data[start:start + block_size])
+            else:
+                session.write(data)
+            session.close()
+        except Exception:
+            session.abort()
+            raise
+        self._accumulate(session.stats)
+        return session
+
+    def write_checkpoint(self, name: CheckpointName, data: bytes,
+                         folder: Optional[str] = None) -> WriteSession:
+        """Write a checkpoint image following the ``A.Ni.Tj`` convention.
+
+        All images of the same application are versions under the same
+        application folder; the file name encodes the producing node and the
+        timestep.
+        """
+        base = folder if folder is not None else f"/{name.folder}"
+        path = f"{base}/{name.filename}"
+        return self.write_file(
+            path, data, producer=f"N{name.node}", timestep=name.timestep
+        )
+
+    def _accumulate(self, stats: WriteStats) -> None:
+        self.lifetime_stats.bytes_written += stats.bytes_written
+        self.lifetime_stats.bytes_pushed += stats.bytes_pushed
+        self.lifetime_stats.bytes_deduplicated += stats.bytes_deduplicated
+        self.lifetime_stats.chunks_pushed += stats.chunks_pushed
+        self.lifetime_stats.chunks_deduplicated += stats.chunks_deduplicated
+        self.lifetime_stats.push_failures += stats.push_failures
+        self.lifetime_stats.stripe_refreshes += stats.stripe_refreshes
+
+    # -- reads ------------------------------------------------------------------------
+    def open_read(self, path: str, version: Optional[int] = None) -> StripedReader:
+        """Build a reader for ``path`` (latest version by default)."""
+        answer = self._manager("get_chunk_map", path=path, version=version)
+        return StripedReader(
+            transport=self.transport,
+            chunk_map=ChunkMap.from_dict(answer["chunk_map"]),
+            addresses=answer["addresses"],
+            size=answer["size"],
+        )
+
+    def read_file(self, path: str, version: Optional[int] = None) -> bytes:
+        """Read a whole file (a checkpoint image for a restart)."""
+        return self.open_read(path, version=version).read_all()
+
+    def read_range(self, path: str, offset: int, length: int,
+                   version: Optional[int] = None) -> bytes:
+        return self.open_read(path, version=version).read_range(offset, length)
+
+    def restore_latest_checkpoint(self, application: str,
+                                  folder: Optional[str] = None) -> Dict[str, object]:
+        """Locate and read the most recent checkpoint image of ``application``.
+
+        Returns a dict with the chosen path, parsed name and image bytes —
+        what a restarting (or migrating) process needs to resume.
+        """
+        base = folder if folder is not None else f"/{application}"
+        try:
+            entries = self.listdir(base)
+        except FileNotFoundInStdchkError:
+            raise FileNotFoundInStdchkError(
+                f"no checkpoints stored for application {application!r}"
+            ) from None
+        best: Optional[CheckpointName] = None
+        for entry in entries:
+            try:
+                name = parse_checkpoint_name(entry)
+            except Exception:
+                continue
+            if name.application != application:
+                continue
+            if best is None or (name.timestep, name.node) > (best.timestep, best.node):
+                best = name
+        if best is None:
+            raise FileNotFoundInStdchkError(
+                f"no checkpoints stored for application {application!r}"
+            )
+        path = f"{base}/{best.filename}"
+        return {"path": path, "name": best, "data": self.read_file(path)}

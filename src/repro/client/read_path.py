@@ -1,0 +1,112 @@
+"""Read path: reassemble a dataset version from its chunks.
+
+Reads matter less than writes for a checkpoint store, but restart latency
+still depends on them (design goal "reasonable read performance", section
+III.B).  The reader fetches chunks from any replica, falls back to other
+replicas when a benefactor is unreachable, verifies content-addressed chunks
+on arrival, and supports whole-file and byte-range reads (the latter backs
+the FS facade's ``read`` with read-ahead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.chunk import Chunk, is_content_addressed
+from repro.core.chunk_map import ChunkMap, ChunkPlacement
+from repro.exceptions import (
+    BenefactorOfflineError,
+    ChunkIntegrityError,
+    ChunkNotFoundError,
+    EndpointUnreachableError,
+    ReadFailedError,
+)
+from repro.transport.base import Transport
+
+
+class StripedReader:
+    """Reads one committed dataset version from its stripe of benefactors."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        chunk_map: ChunkMap,
+        addresses: Dict[str, str],
+        size: int,
+        verify_integrity: bool = True,
+    ) -> None:
+        self.transport = transport
+        self.chunk_map = chunk_map
+        self.addresses = dict(addresses)
+        self.size = size
+        self.verify_integrity = verify_integrity
+        #: Benefactors found unreachable during this read (skipped afterwards).
+        self._failed_benefactors: set = set()
+        #: Simple statistics for benchmarks and tests.
+        self.chunks_fetched = 0
+        self.bytes_fetched = 0
+        self.replica_fallbacks = 0
+
+    # -- chunk fetching -------------------------------------------------------
+    def _fetch_chunk(self, placement: ChunkPlacement) -> bytes:
+        last_error: Optional[Exception] = None
+        candidates = [
+            b for b in placement.benefactors if b not in self._failed_benefactors
+        ] or list(placement.benefactors)
+        for position, benefactor_id in enumerate(candidates):
+            address = self.addresses.get(benefactor_id)
+            if address is None:
+                continue
+            try:
+                data = self.transport.call(
+                    address, "get_chunk", chunk_id=placement.ref.chunk_id
+                )
+            except (EndpointUnreachableError, BenefactorOfflineError,
+                    ChunkNotFoundError) as exc:
+                last_error = exc
+                self._failed_benefactors.add(benefactor_id)
+                if position + 1 < len(candidates):
+                    self.replica_fallbacks += 1
+                continue
+            if self.verify_integrity and is_content_addressed(placement.ref.chunk_id):
+                Chunk(chunk_id=placement.ref.chunk_id, data=data).verify()
+            if len(data) != placement.ref.length:
+                raise ChunkIntegrityError(
+                    f"chunk {placement.ref.chunk_id} has unexpected length "
+                    f"{len(data)} (expected {placement.ref.length})"
+                )
+            self.chunks_fetched += 1
+            self.bytes_fetched += len(data)
+            return data
+        raise ReadFailedError(
+            f"no replica of chunk {placement.ref.chunk_id} is reachable"
+        ) from last_error
+
+    # -- public reads ------------------------------------------------------------
+    def read_all(self) -> bytes:
+        """Fetch the whole file in chunk-map order."""
+        parts: List[bytes] = []
+        for placement in self.chunk_map:
+            parts.append(self._fetch_chunk(placement))
+        data = b"".join(parts)
+        if len(data) != self.size:
+            raise ReadFailedError(
+                f"reassembled size {len(data)} does not match metadata size {self.size}"
+            )
+        return data
+
+    def read_range(self, offset: int, length: int) -> bytes:
+        """Fetch an arbitrary byte range (used by the FS facade)."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        if length <= 0 or offset >= self.size:
+            return b""
+        length = min(length, self.size - offset)
+        placements = self.chunk_map.covering(offset, length)
+        parts: List[bytes] = []
+        for placement in placements:
+            data = self._fetch_chunk(placement)
+            start = max(offset - placement.ref.offset, 0)
+            end = min(offset + length - placement.ref.offset, placement.ref.length)
+            parts.append(data[start:end])
+        return b"".join(parts)

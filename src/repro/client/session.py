@@ -1,0 +1,227 @@
+"""Chunk pushing: the shared data path under every write protocol.
+
+The :class:`ChunkPusher` turns a byte stream into chunks, decides which
+benefactor receives each chunk (round-robin over the session's stripe),
+enforces the write semantics (pessimistic writes push every replica before
+returning, optimistic writes push one copy and leave the rest to background
+replication), skips chunks that incremental checkpointing proves are already
+stored, handles benefactor failures by refreshing the stripe through the
+manager, and accumulates the chunk-map that will be committed at close time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.chunk import Chunk, ChunkRef, content_chunk_id, opaque_chunk_id
+from repro.core.chunk_map import ChunkMap
+from repro.exceptions import (
+    BenefactorOfflineError,
+    EndpointUnreachableError,
+    StdchkError,
+    StoreFullError,
+    WriteFailedError,
+)
+from repro.transport.base import Transport
+from repro.util.config import SimilarityHeuristic, StdchkConfig, WriteSemantics
+
+
+@dataclass
+class WriteStats:
+    """Per-session accounting used by benchmarks (network effort, dedup)."""
+
+    bytes_written: int = 0
+    bytes_pushed: int = 0
+    bytes_deduplicated: int = 0
+    chunks_pushed: int = 0
+    chunks_deduplicated: int = 0
+    push_failures: int = 0
+    stripe_refreshes: int = 0
+
+    @property
+    def network_effort(self) -> int:
+        """Bytes actually sent to benefactors (replicas included)."""
+        return self.bytes_pushed
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of written bytes that never had to be pushed."""
+        if self.bytes_written == 0:
+            return 0.0
+        return self.bytes_deduplicated / self.bytes_written
+
+
+class ChunkPusher:
+    """Pushes chunks of one write session to its stripe of benefactors."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        manager_address: str,
+        session_info: Dict[str, object],
+        config: StdchkConfig,
+        existing_chunks: Optional[Dict[str, List[str]]] = None,
+        max_stripe_refreshes: int = 3,
+    ) -> None:
+        self.transport = transport
+        self.manager_address = manager_address
+        self.session_id: str = session_info["session_id"]  # type: ignore[assignment]
+        self.dataset_id: str = session_info["dataset_id"]  # type: ignore[assignment]
+        self.version: int = session_info["version"]  # type: ignore[assignment]
+        self.chunk_size: int = session_info.get("chunk_size", config.chunk_size)  # type: ignore[assignment]
+        self.replication_level: int = session_info.get(  # type: ignore[assignment]
+            "replication_level", config.replication_level
+        )
+        self.config = config
+        self.max_stripe_refreshes = max_stripe_refreshes
+
+        self._stripe: List[Dict[str, str]] = list(session_info["stripe"])  # type: ignore[arg-type]
+        self._content_addressed = config.similarity_heuristic is not SimilarityHeuristic.NONE
+        #: chunk id -> benefactors known to hold it (previous version + this session).
+        self._known_chunks: Dict[str, List[str]] = dict(existing_chunks or {})
+        self.chunk_map = ChunkMap()
+        self.stats = WriteStats()
+        self._next_chunk_index = 0
+        self._next_offset = 0
+        self._pending = bytearray()
+
+    # -- public stream interface ---------------------------------------------
+    @property
+    def bytes_buffered(self) -> int:
+        return len(self._pending)
+
+    @property
+    def total_size(self) -> int:
+        """Logical bytes accepted so far (buffered + pushed)."""
+        return self.stats.bytes_written
+
+    def feed(self, data: bytes, flush: bool = False) -> None:
+        """Accept application bytes; push every complete chunk immediately.
+
+        ``flush`` forces the trailing partial chunk out as well (used at
+        close time and when a protocol rotates its temporary file).
+        """
+        self.stats.bytes_written += len(data)
+        self._pending.extend(data)
+        while len(self._pending) >= self.chunk_size:
+            payload = bytes(self._pending[: self.chunk_size])
+            del self._pending[: self.chunk_size]
+            self._emit(payload)
+        if flush and self._pending:
+            payload = bytes(self._pending)
+            self._pending.clear()
+            self._emit(payload)
+
+    def finish(self) -> ChunkMap:
+        """Flush the trailing chunk and return the completed chunk-map."""
+        if self._pending:
+            payload = bytes(self._pending)
+            self._pending.clear()
+            self._emit(payload)
+        return self.chunk_map
+
+    # -- chunk emission ------------------------------------------------------
+    def _emit(self, payload: bytes) -> None:
+        if self._content_addressed:
+            chunk = Chunk(chunk_id=content_chunk_id(payload), data=payload)
+        else:
+            chunk = Chunk(
+                chunk_id=opaque_chunk_id(self.dataset_id, self.version, self._next_chunk_index),
+                data=payload,
+            )
+        ref = ChunkRef(
+            chunk_id=chunk.chunk_id, offset=self._next_offset, length=len(payload)
+        )
+        self._next_chunk_index += 1
+        self._next_offset += len(payload)
+
+        known = self._known_chunks.get(chunk.chunk_id)
+        if self._content_addressed and known:
+            # Incremental checkpointing: the chunk content already lives in
+            # the pool; reference it copy-on-write instead of pushing again.
+            self.chunk_map.append(ref, benefactors=known)
+            self.stats.bytes_deduplicated += len(payload)
+            self.stats.chunks_deduplicated += 1
+            return
+
+        holders = self._push_with_replication(chunk)
+        self.chunk_map.append(ref, benefactors=holders)
+        if self._content_addressed:
+            self._known_chunks[chunk.chunk_id] = list(holders)
+
+    # -- pushing & failure handling ----------------------------------------------
+    def _refresh_stripe(self) -> None:
+        if self.stats.stripe_refreshes >= self.max_stripe_refreshes:
+            raise WriteFailedError(
+                f"write session {self.session_id} exhausted stripe refreshes"
+            )
+        self.stats.stripe_refreshes += 1
+        answer = self.transport.call(
+            self.manager_address, "extend_stripe", session_id=self.session_id
+        )
+        self._stripe = list(answer["stripe"])
+        if not self._stripe:
+            raise WriteFailedError("manager returned an empty stripe")
+
+    def _report_failure(self, benefactor_id: str) -> None:
+        try:
+            self.transport.call(
+                self.manager_address,
+                "report_benefactor_failure",
+                benefactor_id=benefactor_id,
+            )
+        except StdchkError:
+            pass
+
+    def _push_once(self, chunk: Chunk, start_slot: int,
+                   skip: Sequence[str]) -> Optional[Dict[str, str]]:
+        """Try pushing ``chunk`` to one benefactor, rotating through the stripe.
+
+        Returns the stripe entry that accepted the chunk, or None when every
+        candidate failed (the caller then refreshes the stripe).
+        """
+        width = len(self._stripe)
+        for probe in range(width):
+            entry = self._stripe[(start_slot + probe) % width]
+            if entry["benefactor_id"] in skip:
+                continue
+            try:
+                self.transport.call(
+                    entry["address"],
+                    "put_chunk",
+                    chunk_id=chunk.chunk_id,
+                    data=chunk.data,
+                )
+                return entry
+            except (EndpointUnreachableError, BenefactorOfflineError, StoreFullError):
+                self.stats.push_failures += 1
+                self._report_failure(entry["benefactor_id"])
+                continue
+        return None
+
+    def _push_with_replication(self, chunk: Chunk) -> List[str]:
+        """Push ``chunk`` according to the configured write semantics."""
+        copies_needed = (
+            self.replication_level
+            if self.config.write_semantics is WriteSemantics.PESSIMISTIC
+            else 1
+        )
+        holders: List[str] = []
+        start_slot = self._next_chunk_index - 1  # round-robin by chunk index
+        while len(holders) < copies_needed:
+            entry = self._push_once(chunk, start_slot + len(holders), skip=holders)
+            if entry is None:
+                self._refresh_stripe()
+                continue
+            holders.append(entry["benefactor_id"])
+            self.stats.bytes_pushed += chunk.size
+            self.stats.chunks_pushed += 1
+            if len(set(holders)) >= len(self._stripe) and len(holders) < copies_needed:
+                # Narrow pools cannot hold more distinct replicas than nodes.
+                break
+        if not holders:
+            raise WriteFailedError(
+                f"chunk {chunk.chunk_id} could not be stored on any benefactor"
+            )
+        return holders

@@ -1,0 +1,106 @@
+"""Retention policies for automated, time-sensitive data management.
+
+Section IV.D of the paper defines three scenarios for checkpoint-image
+lifetime management, attached to the per-application folder:
+
+* *No intervention* — every version from every timestep is kept.
+* *Automated replace* — a new checkpoint image makes older ones obsolete.
+* *Automated purge* — images are removed once they exceed a configured age.
+
+Policies are pure decision functions: given the version history of a dataset
+and the current time they return the versions that should be pruned.  The
+manager's pruner applies the decisions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from repro.core.dataset import DatasetMetadata, DatasetVersion
+from repro.util.config import RetentionConfig, RetentionPolicyKind
+
+
+class RetentionPolicy(ABC):
+    """Decides which committed versions of a dataset are prunable."""
+
+    kind: RetentionPolicyKind
+
+    @abstractmethod
+    def select_prunable(self, dataset: DatasetMetadata, now: float) -> List[DatasetVersion]:
+        """Return the versions of ``dataset`` that may be removed at ``now``."""
+
+    def describe(self) -> str:
+        """Human-readable one-line description (for logs and examples)."""
+        return self.kind.value
+
+
+class NoInterventionPolicy(RetentionPolicy):
+    """Keep everything: nothing is ever prunable."""
+
+    kind = RetentionPolicyKind.NO_INTERVENTION
+
+    def select_prunable(self, dataset: DatasetMetadata, now: float) -> List[DatasetVersion]:
+        return []
+
+
+class AutomatedReplacePolicy(RetentionPolicy):
+    """New images obsolete old ones; keep only the last ``keep_last`` versions."""
+
+    kind = RetentionPolicyKind.AUTOMATED_REPLACE
+
+    def __init__(self, keep_last: int = 1) -> None:
+        if keep_last <= 0:
+            raise ValueError("keep_last must be positive")
+        self.keep_last = keep_last
+
+    def select_prunable(self, dataset: DatasetMetadata, now: float) -> List[DatasetVersion]:
+        versions = dataset.versions
+        if len(versions) <= self.keep_last:
+            return []
+        return versions[: len(versions) - self.keep_last]
+
+    def describe(self) -> str:
+        return f"{self.kind.value} (keep last {self.keep_last})"
+
+
+class AutomatedPurgePolicy(RetentionPolicy):
+    """Purge versions whose age exceeds ``purge_after`` seconds.
+
+    The newest version is always retained so a restart is possible even for
+    long-idle applications, matching the paper's "low risk" reasoning: losing
+    a checkpoint costs at most a rollback to the previous timestep, but never
+    all recovery capability.
+    """
+
+    kind = RetentionPolicyKind.AUTOMATED_PURGE
+
+    def __init__(self, purge_after: float, keep_latest: bool = True) -> None:
+        if purge_after <= 0:
+            raise ValueError("purge_after must be positive")
+        self.purge_after = purge_after
+        self.keep_latest = keep_latest
+
+    def select_prunable(self, dataset: DatasetMetadata, now: float) -> List[DatasetVersion]:
+        versions = dataset.versions
+        if not versions:
+            return []
+        protected = {versions[-1].version} if self.keep_latest else set()
+        return [
+            v for v in versions
+            if v.version not in protected and (now - v.created_at) >= self.purge_after
+        ]
+
+    def describe(self) -> str:
+        return f"{self.kind.value} (after {self.purge_after:.0f}s)"
+
+
+def make_retention_policy(config: RetentionConfig) -> RetentionPolicy:
+    """Instantiate the policy object described by a :class:`RetentionConfig`."""
+    if config.kind is RetentionPolicyKind.NO_INTERVENTION:
+        return NoInterventionPolicy()
+    if config.kind is RetentionPolicyKind.AUTOMATED_REPLACE:
+        return AutomatedReplacePolicy(keep_last=config.keep_last)
+    if config.kind is RetentionPolicyKind.AUTOMATED_PURGE:
+        return AutomatedPurgePolicy(purge_after=config.purge_after)
+    raise ValueError(f"unknown retention policy kind: {config.kind}")

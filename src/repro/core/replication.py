@@ -1,0 +1,89 @@
+"""Replication bookkeeping shared by the manager and the simulator.
+
+The manager's background replication service walks committed datasets, finds
+chunks below their target replication level, builds shadow chunk-maps and
+tracks the resulting copy tasks.  These small data classes keep that state
+explicit and serializable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.chunk import ChunkId
+from repro.core.chunk_map import ShadowChunkMap
+
+
+class ReplicationTaskState(enum.Enum):
+    """Lifecycle of one chunk-copy task."""
+
+    PENDING = "pending"
+    IN_FLIGHT = "in-flight"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class ReplicationTask:
+    """Copy one chunk from a source benefactor to a target benefactor."""
+
+    chunk_id: ChunkId
+    source: str
+    target: str
+    dataset_id: str
+    version: int
+    state: ReplicationTaskState = ReplicationTaskState.PENDING
+    attempts: int = 0
+    last_error: Optional[str] = None
+
+    def mark_in_flight(self) -> None:
+        self.state = ReplicationTaskState.IN_FLIGHT
+        self.attempts += 1
+
+    def mark_done(self) -> None:
+        self.state = ReplicationTaskState.DONE
+
+    def mark_failed(self, error: str) -> None:
+        self.state = ReplicationTaskState.FAILED
+        self.last_error = error
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (ReplicationTaskState.DONE, ReplicationTaskState.FAILED)
+
+
+@dataclass
+class ReplicationState:
+    """Aggregated replication progress for one dataset version."""
+
+    dataset_id: str
+    version: int
+    target_level: int
+    shadow: Optional[ShadowChunkMap] = None
+    tasks: List[ReplicationTask] = field(default_factory=list)
+
+    @property
+    def pending_tasks(self) -> List[ReplicationTask]:
+        return [t for t in self.tasks if t.state is ReplicationTaskState.PENDING]
+
+    @property
+    def done_tasks(self) -> List[ReplicationTask]:
+        return [t for t in self.tasks if t.state is ReplicationTaskState.DONE]
+
+    @property
+    def failed_tasks(self) -> List[ReplicationTask]:
+        return [t for t in self.tasks if t.state is ReplicationTaskState.FAILED]
+
+    @property
+    def complete(self) -> bool:
+        """True once every task reached a terminal state with no failures."""
+        return bool(self.tasks) and all(t.finished for t in self.tasks) and not self.failed_tasks
+
+    def summary(self) -> Dict[str, int]:
+        """Counts per state, handy for logs and tests."""
+        counts = {state.value: 0 for state in ReplicationTaskState}
+        for task in self.tasks:
+            counts[task.state.value] += 1
+        return counts

@@ -1,0 +1,159 @@
+"""Exception hierarchy for the stdchk reproduction.
+
+All library errors derive from :class:`StdchkError` so callers can install a
+single ``except`` clause around storage operations.  The hierarchy mirrors the
+major subsystems: metadata management, benefactor storage, client sessions and
+the file-system facade.
+"""
+
+from __future__ import annotations
+
+
+class StdchkError(Exception):
+    """Base class for every error raised by the stdchk reproduction."""
+
+
+class ConfigurationError(StdchkError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class NamingError(StdchkError):
+    """A checkpoint file name does not follow the ``A.Ni.Tj`` convention."""
+
+
+# --------------------------------------------------------------------------
+# Metadata manager errors
+# --------------------------------------------------------------------------
+class ManagerError(StdchkError):
+    """Base class for metadata-manager failures."""
+
+
+class UnknownDatasetError(ManagerError):
+    """The requested dataset (file) is not present in the manager metadata."""
+
+
+class UnknownBenefactorError(ManagerError):
+    """An operation referenced a benefactor that never registered."""
+
+
+class NoBenefactorsAvailableError(ManagerError):
+    """A stripe allocation could not find any online benefactor."""
+
+
+class InsufficientSpaceError(ManagerError):
+    """A space reservation exceeds the aggregate free space of the pool."""
+
+
+class ReservationError(ManagerError):
+    """A reservation was unknown, expired or already committed."""
+
+
+class CommitConflictError(ManagerError):
+    """A chunk-map commit conflicts with an already-committed version."""
+
+
+class ManagerUnavailableError(ManagerError):
+    """The manager is offline (simulated manager failure)."""
+
+
+# --------------------------------------------------------------------------
+# Benefactor errors
+# --------------------------------------------------------------------------
+class BenefactorError(StdchkError):
+    """Base class for benefactor-side failures."""
+
+
+class ChunkNotFoundError(BenefactorError):
+    """The requested chunk is not stored on the contacted benefactor."""
+
+
+class ChunkIntegrityError(BenefactorError):
+    """A chunk's content does not match its content-addressed name."""
+
+
+class BenefactorOfflineError(BenefactorError):
+    """The benefactor is offline (owner reclaimed the machine or it crashed)."""
+
+
+class StoreFullError(BenefactorError):
+    """The benefactor's contributed space is exhausted."""
+
+
+# --------------------------------------------------------------------------
+# Client / session errors
+# --------------------------------------------------------------------------
+class ClientError(StdchkError):
+    """Base class for client-proxy failures."""
+
+
+class SessionStateError(ClientError):
+    """An operation was attempted on a closed or not-yet-open session."""
+
+
+class WriteFailedError(ClientError):
+    """A write could not be completed even after retrying other benefactors."""
+
+
+class ReadFailedError(ClientError):
+    """A read could not be satisfied because chunks are unavailable."""
+
+
+class ReplicationError(ClientError):
+    """The requested replication level could not be achieved."""
+
+
+# --------------------------------------------------------------------------
+# File-system facade errors
+# --------------------------------------------------------------------------
+class FileSystemError(StdchkError):
+    """Base class for the POSIX-like facade errors."""
+
+
+class FileNotFoundInStdchkError(FileSystemError):
+    """Path does not exist in the stdchk namespace."""
+
+
+class FileExistsInStdchkError(FileSystemError):
+    """Path already exists and exclusive creation was requested."""
+
+
+class NotADirectoryError_(FileSystemError):
+    """Path component used as a directory is a regular file."""
+
+
+class IsADirectoryError_(FileSystemError):
+    """A file operation was attempted on a directory."""
+
+
+class InvalidFileModeError(FileSystemError):
+    """The open() mode string is not supported by the facade."""
+
+
+class FileHandleClosedError(FileSystemError):
+    """I/O was attempted on a closed file handle."""
+
+
+# --------------------------------------------------------------------------
+# Transport errors
+# --------------------------------------------------------------------------
+class TransportError(StdchkError):
+    """Base class for RPC/transport failures."""
+
+
+class EndpointUnreachableError(TransportError):
+    """The remote endpoint did not answer (connection refused / timeout)."""
+
+
+class ProtocolError(TransportError):
+    """A malformed message was received."""
+
+
+# --------------------------------------------------------------------------
+# Simulation errors
+# --------------------------------------------------------------------------
+class SimulationError(StdchkError):
+    """Base class for discrete-event simulation failures."""
+
+
+class SimulationTimeError(SimulationError):
+    """An event was scheduled in the past."""

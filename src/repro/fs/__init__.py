@@ -1,0 +1,29 @@
+"""POSIX-like file-system facade over the stdchk client.
+
+The paper mounts stdchk under ``/stdchk`` through FUSE so unmodified
+applications and checkpointing libraries can use it.  FUSE (a kernel module)
+is outside the reach of a pure-Python reproduction, so this package provides
+the equivalent *user-space* layer: a :class:`StdchkFilesystem` object whose
+``open``/``read``/``write``/``close``/``listdir``/``stat``/``unlink`` calls
+map onto client-proxy operations, handle the granularity difference between
+small application writes and megabyte chunks, and cache metadata so most
+``readdir``/``getattr`` calls never contact the manager.
+
+Two auxiliary file systems reproduce the Table 1 overhead methodology:
+``LocalPassthroughFilesystem`` (the paper's "FUSE to local I/O") and
+``NullFilesystem`` (the paper's ``/stdchk/null``).
+"""
+
+from repro.fs.file_handle import StdchkFileHandle
+from repro.fs.filesystem import StdchkFilesystem
+from repro.fs.metadata_cache import MetadataCache
+from repro.fs.local_fs import LocalPassthroughFilesystem
+from repro.fs.null_fs import NullFilesystem
+
+__all__ = [
+    "StdchkFileHandle",
+    "StdchkFilesystem",
+    "MetadataCache",
+    "LocalPassthroughFilesystem",
+    "NullFilesystem",
+]

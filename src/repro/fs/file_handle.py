@@ -1,0 +1,160 @@
+"""File handles for the stdchk FS facade.
+
+A handle adapts POSIX-style small reads/writes to the storage system's
+megabyte-chunk granularity (section IV.E): writes are buffered and streamed
+into the underlying write session, reads are served from a read-ahead buffer
+that fetches ahead of the application's position.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.client.read_path import StripedReader
+from repro.client.write_protocols import WriteSession
+from repro.exceptions import FileHandleClosedError, InvalidFileModeError
+
+
+class StdchkFileHandle:
+    """A single open file: either write-only or read-only (like the paper's
+    checkpoint workload, files are written sequentially once and read back
+    sequentially on restart)."""
+
+    def __init__(
+        self,
+        path: str,
+        mode: str,
+        write_session: Optional[WriteSession] = None,
+        reader: Optional[StripedReader] = None,
+        read_ahead: int = 0,
+    ) -> None:
+        if mode not in ("rb", "wb"):
+            raise InvalidFileModeError(
+                f"unsupported mode {mode!r}: the facade supports 'rb' and 'wb'"
+            )
+        if mode == "wb" and write_session is None:
+            raise ValueError("write mode requires a write session")
+        if mode == "rb" and reader is None:
+            raise ValueError("read mode requires a reader")
+        self.path = path
+        self.mode = mode
+        self._write_session = write_session
+        self._reader = reader
+        self._read_ahead = max(read_ahead, 0)
+        self._position = 0
+        self._closed = False
+        #: Read-ahead buffer: bytes covering [_buffer_offset, _buffer_offset + len).
+        self._buffer = b""
+        self._buffer_offset = 0
+
+    # -- state ----------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise FileHandleClosedError(f"file handle for {self.path} is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def writable(self) -> bool:
+        return self.mode == "wb"
+
+    @property
+    def readable(self) -> bool:
+        return self.mode == "rb"
+
+    def tell(self) -> int:
+        return self._position
+
+    # -- writing ------------------------------------------------------------------
+    def write(self, data: bytes) -> int:
+        """Accept application bytes (any granularity)."""
+        self._require_open()
+        if not self.writable:
+            raise InvalidFileModeError(f"{self.path} is open read-only")
+        written = self._write_session.write(data)
+        self._position += written
+        return written
+
+    # -- reading --------------------------------------------------------------------
+    def _fill_buffer(self, offset: int, length: int) -> None:
+        """Fetch ``length`` bytes (plus read-ahead) starting at ``offset``."""
+        fetch_length = max(length, self._read_ahead)
+        self._buffer = self._reader.read_range(offset, fetch_length)
+        self._buffer_offset = offset
+
+    def read(self, size: int = -1) -> bytes:
+        """Read ``size`` bytes from the current position (-1 = to EOF)."""
+        self._require_open()
+        if not self.readable:
+            raise InvalidFileModeError(f"{self.path} is open write-only")
+        if size is None or size < 0:
+            size = max(self._reader.size - self._position, 0)
+        if size == 0:
+            return b""
+        # Serve from the read-ahead buffer when it covers the request.
+        buffer_end = self._buffer_offset + len(self._buffer)
+        if not (self._buffer_offset <= self._position and
+                self._position + min(size, 1) <= buffer_end):
+            self._fill_buffer(self._position, size)
+            buffer_end = self._buffer_offset + len(self._buffer)
+        start = self._position - self._buffer_offset
+        data = self._buffer[start:start + size]
+        if len(data) < size and buffer_end < self._reader.size:
+            # The request exceeded the buffered window: fetch the remainder.
+            remainder = self._reader.read_range(
+                self._position + len(data), size - len(data)
+            )
+            data += remainder
+        self._position += len(data)
+        return data
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        """Reposition the read cursor (only meaningful for read handles)."""
+        self._require_open()
+        if whence == 0:
+            target = offset
+        elif whence == 1:
+            target = self._position + offset
+        elif whence == 2:
+            end = self._reader.size if self.readable else self._position
+            target = end + offset
+        else:
+            raise ValueError(f"invalid whence: {whence}")
+        if target < 0:
+            raise ValueError("cannot seek before the start of the file")
+        if self.writable and target != self._position:
+            raise InvalidFileModeError(
+                "write handles are append-only (checkpoints are written sequentially)"
+            )
+        self._position = target
+        return self._position
+
+    # -- closing ------------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the handle; for writes this commits the chunk-map."""
+        if self._closed:
+            return
+        if self.writable and self._write_session is not None:
+            self._write_session.close()
+        self._closed = True
+
+    def abort(self) -> None:
+        """Abandon a write without committing (the file version never appears)."""
+        if self._closed:
+            return
+        if self.writable and self._write_session is not None:
+            self._write_session.abort()
+        self._closed = True
+
+    def __enter__(self) -> "StdchkFileHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        elif self.writable:
+            self.abort()
+        else:
+            self.close()

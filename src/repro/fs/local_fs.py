@@ -1,0 +1,121 @@
+"""Local-passthrough file system ("FUSE to local I/O").
+
+Table 1's second data point redirects every write through the user-space
+layer back to the local file system, measuring the overhead the extra
+indirection adds on top of raw local I/O (the paper reports about 2%).  This
+class provides the same interface as the stdchk facade but stores files under
+a local directory, going through the identical buffering code path so the
+comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Dict, List, Optional
+
+
+class _LocalHandle:
+    """Handle writing through the facade into a real local file."""
+
+    def __init__(self, fs: "LocalPassthroughFilesystem", path: str,
+                 local_path: str, mode: str) -> None:
+        self._fs = fs
+        self.path = path
+        self.mode = mode
+        self.closed = False
+        file_mode = "wb" if mode in ("w", "wt", "wb") else "rb"
+        self._file = open(local_path, file_mode)
+
+    def write(self, data: bytes) -> int:
+        self._fs.calls += 1
+        written = self._file.write(data)
+        self._fs.bytes_accepted += written
+        return written
+
+    def read(self, size: int = -1) -> bytes:
+        self._fs.calls += 1
+        return self._file.read(size)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self._fs.calls += 1
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        self.closed = True
+
+    def __enter__(self) -> "_LocalHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class LocalPassthroughFilesystem:
+    """Facade-shaped wrapper around a local directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.calls = 0
+        self.bytes_accepted = 0
+
+    def _local_path(self, path: str) -> str:
+        relative = path.lstrip("/")
+        local = os.path.join(self.root, relative)
+        os.makedirs(os.path.dirname(local) or self.root, exist_ok=True)
+        return local
+
+    def open(self, path: str, mode: str = "rb", expected_size: int = 0) -> _LocalHandle:
+        self.calls += 1
+        return _LocalHandle(self, path, self._local_path(path), mode)
+
+    def close(self, handle: _LocalHandle) -> None:
+        handle.close()
+
+    def write_file(self, path: str, data: bytes, block_size: int = 0) -> None:
+        handle = self.open(path, "wb", expected_size=len(data))
+        try:
+            if block_size and block_size > 0:
+                for start in range(0, len(data), block_size):
+                    handle.write(data[start:start + block_size])
+            else:
+                handle.write(data)
+        finally:
+            handle.close()
+
+    def read_file(self, path: str) -> bytes:
+        handle = self.open(path, "rb")
+        try:
+            return handle.read()
+        finally:
+            handle.close()
+
+    def stat(self, path: str) -> Dict[str, object]:
+        self.calls += 1
+        local = self._local_path(path)
+        info = os.stat(local)
+        return {"type": "file", "size": info.st_size, "modified_at": info.st_mtime}
+
+    def listdir(self, path: str) -> List[str]:
+        self.calls += 1
+        return sorted(os.listdir(self._local_path(path)))
+
+    def mkdir(self, path: str, **_kwargs) -> None:
+        self.calls += 1
+        os.makedirs(self._local_path(path), exist_ok=True)
+
+    def unlink(self, path: str) -> None:
+        self.calls += 1
+        os.unlink(self._local_path(path))
+
+    def exists(self, path: str) -> bool:
+        self.calls += 1
+        return os.path.exists(self._local_path(path))
+
+    def cleanup(self) -> None:
+        """Remove everything written under the root (test/bench teardown)."""
+        shutil.rmtree(self.root, ignore_errors=True)
+        os.makedirs(self.root, exist_ok=True)

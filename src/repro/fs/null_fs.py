@@ -1,0 +1,94 @@
+"""The ``/stdchk/null`` file system.
+
+Table 1 of the paper measures the pure user-space-interface overhead with a
+file system that ignores write operations and returns immediately.  This
+class reproduces the methodology: it accepts the same call sequence as
+:class:`~repro.fs.filesystem.StdchkFilesystem`, counts the bytes and calls,
+but stores nothing.  Comparing a large write through this facade against a
+raw loop measures the per-call cost of the Python call layer, exactly as the
+paper's ``/stdchk/null`` isolates the FUSE context-switch cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class _NullHandle:
+    """Write-only handle that discards everything."""
+
+    def __init__(self, fs: "NullFilesystem", path: str, mode: str) -> None:
+        self._fs = fs
+        self.path = path
+        self.mode = mode
+        self.closed = False
+        self.bytes_written = 0
+
+    def write(self, data: bytes) -> int:
+        self._fs.calls += 1
+        self.bytes_written += len(data)
+        self._fs.bytes_accepted += len(data)
+        return len(data)
+
+    def read(self, size: int = -1) -> bytes:
+        self._fs.calls += 1
+        return b""
+
+    def close(self) -> None:
+        self._fs.calls += 1
+        self.closed = True
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullFilesystem:
+    """Accepts every operation, stores nothing, returns immediately."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.bytes_accepted = 0
+        self.files_created: List[str] = []
+
+    def open(self, path: str, mode: str = "wb", expected_size: int = 0) -> _NullHandle:
+        self.calls += 1
+        if mode in ("w", "wt", "wb"):
+            self.files_created.append(path)
+        return _NullHandle(self, path, mode)
+
+    def close(self, handle: _NullHandle) -> None:
+        handle.close()
+
+    def write_file(self, path: str, data: bytes, block_size: int = 0) -> None:
+        handle = self.open(path, "wb", expected_size=len(data))
+        if block_size and block_size > 0:
+            for start in range(0, len(data), block_size):
+                handle.write(data[start:start + block_size])
+        else:
+            handle.write(data)
+        handle.close()
+
+    def read_file(self, path: str) -> bytes:
+        self.calls += 1
+        return b""
+
+    def stat(self, path: str) -> Dict[str, object]:
+        self.calls += 1
+        return {"type": "file", "size": 0}
+
+    def listdir(self, path: str) -> List[str]:
+        self.calls += 1
+        return []
+
+    def mkdir(self, path: str, **_kwargs) -> None:
+        self.calls += 1
+
+    def unlink(self, path: str) -> None:
+        self.calls += 1
+
+    def exists(self, path: str) -> bool:
+        self.calls += 1
+        return False

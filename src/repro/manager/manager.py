@@ -1,0 +1,524 @@
+"""The centralized metadata manager.
+
+The manager owns all system metadata: the namespace, dataset version chains
+and chunk-maps, benefactor liveness and free space, space reservations and
+in-flight write sessions.  Clients interact with it in four steps per write
+(visible in Figure 8's "four transactions per write"): create a session,
+(optionally) fetch the previous version's chunk inventory for incremental
+checkpointing, refresh/extend the stripe if needed, and commit the final
+chunk-map at close time.
+
+The data path never traverses the manager: chunks flow directly between
+clients and benefactors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.chunk_map import ChunkMap, ShadowChunkMap
+from repro.core.dataset import DatasetMetadata, DatasetVersion
+from repro.core.namespace import Namespace, normalize_path, split_path
+from repro.core.reservation import ReservationTable
+from repro.core.striping import RoundRobinStriping, StripingPolicy
+from repro.exceptions import (
+    CommitConflictError,
+    FileNotFoundInStdchkError,
+    ManagerUnavailableError,
+    NoBenefactorsAvailableError,
+    UnknownDatasetError,
+)
+from repro.manager.registry import BenefactorRegistry
+from repro.transport.base import Endpoint, Transport
+from repro.util.clock import Clock, SystemClock
+from repro.util.config import RetentionConfig, RetentionPolicyKind, StdchkConfig
+
+
+@dataclass
+class WriteSessionRecord:
+    """Manager-side state of one in-flight write session."""
+
+    session_id: str
+    client_id: str
+    path: str
+    dataset_id: str
+    version: int
+    stripe: List[Dict[str, str]]
+    reservation_id: str
+    created_at: float
+    replication_level: int
+    committed: bool = False
+    aborted: bool = False
+
+    @property
+    def active(self) -> bool:
+        return not self.committed and not self.aborted
+
+
+class MetadataManager(Endpoint):
+    """Centralized metadata manager (one per stdchk pool)."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        config: Optional[StdchkConfig] = None,
+        clock: Optional[Clock] = None,
+        striping: Optional[StripingPolicy] = None,
+        manager_id: str = "manager",
+    ) -> None:
+        self.config = config if config is not None else StdchkConfig()
+        self.clock = clock if clock is not None else SystemClock()
+        self.transport = transport
+        self.manager_id = manager_id
+        self.address = f"manager://{manager_id}"
+        self.namespace = Namespace()
+        self.registry = BenefactorRegistry(heartbeat_timeout=self.config.heartbeat_timeout)
+        self.reservations = ReservationTable(default_lease=self.config.reservation_lease)
+        self.striping = striping if striping is not None else RoundRobinStriping()
+        self.online = True
+
+        self._datasets: Dict[str, DatasetMetadata] = {}
+        self._replication_targets: Dict[str, int] = {}
+        self._sessions: Dict[str, WriteSessionRecord] = {}
+        self._session_counter = itertools.count(1)
+        self._dataset_counter = itertools.count(1)
+        #: Per-benefactor set of chunk ids seen in the previous GC report.
+        #: A chunk is declared dead only when it is unreferenced *and* was
+        #: already present in the previous report ("seen twice" rule), which
+        #: protects chunks pushed by sessions that have not committed yet.
+        self._gc_seen: Dict[str, Set[str]] = {}
+        #: Transaction counter (any client- or benefactor-facing call).
+        self.transactions = 0
+
+        self.transport.register(self.address, self)
+
+    # ------------------------------------------------------------------ utils
+    def _require_online(self) -> None:
+        if not self.online:
+            raise ManagerUnavailableError(f"manager {self.manager_id} is offline")
+
+    def _count(self) -> None:
+        self.transactions += 1
+
+    def fail(self) -> None:
+        """Simulate a manager failure (every call raises until recovery)."""
+        self.online = False
+
+    def recover(self) -> None:
+        self.online = True
+
+    # ------------------------------------------------- benefactor-facing calls
+    def register_benefactor(self, benefactor_id: str, address: str, free_space: int,
+                            used_space: int = 0, chunk_count: int = 0) -> Dict[str, object]:
+        """Soft-state registration; also used as the periodic heartbeat."""
+        self._require_online()
+        self._count()
+        record = self.registry.register(
+            benefactor_id, address, free_space, used_space, chunk_count,
+            now=self.clock.now(),
+        )
+        return {
+            "registered": True,
+            "heartbeat_interval": self.config.heartbeat_interval,
+            "known_benefactors": len(self.registry),
+            "benefactor_id": record.benefactor_id,
+        }
+
+    def heartbeat(self, benefactor_id: str, free_space: int, used_space: int = 0,
+                  chunk_count: int = 0) -> Dict[str, object]:
+        self._require_online()
+        self._count()
+        self.registry.heartbeat(
+            benefactor_id, free_space, used_space, chunk_count, now=self.clock.now()
+        )
+        return {"acknowledged": True}
+
+    def report_benefactor_failure(self, benefactor_id: str) -> Dict[str, object]:
+        """Clients report data-path failures so the manager reacts promptly."""
+        self._require_online()
+        self._count()
+        self.registry.mark_offline(benefactor_id)
+        return {"acknowledged": True}
+
+    def gc_report(self, benefactor_id: str, chunk_ids: Sequence[str]) -> Dict[str, List[str]]:
+        """Garbage-collection exchange: reply with the chunks that may be deleted.
+
+        A chunk is collectible when it is referenced by no committed version
+        of any dataset *and* it already appeared in this benefactor's previous
+        report (so a chunk pushed by an in-flight session that has not yet
+        committed its chunk-map is never collected).
+        """
+        self._require_online()
+        self._count()
+        reported = set(chunk_ids)
+        live = self.live_chunk_ids()
+        previously_seen = self._gc_seen.get(benefactor_id, set())
+        dead = sorted(cid for cid in reported if cid not in live and cid in previously_seen)
+        self._gc_seen[benefactor_id] = reported
+        return {"collectible": dead}
+
+    def expire_benefactors(self) -> List[str]:
+        """Expire benefactors whose heartbeats went silent (called by services)."""
+        self._require_online()
+        return self.registry.expire(self.clock.now())
+
+    # ------------------------------------------------------ namespace operations
+    def make_folder(self, path: str, retention_kind: Optional[str] = None,
+                    purge_after: float = 3600.0, keep_last: int = 1,
+                    exist_ok: bool = True) -> Dict[str, object]:
+        """Create an application folder, optionally with a retention policy."""
+        self._require_online()
+        self._count()
+        retention = None
+        if retention_kind is not None:
+            retention = RetentionConfig(
+                kind=RetentionPolicyKind(retention_kind),
+                purge_after=purge_after,
+                keep_last=keep_last,
+            )
+        self.namespace.ensure_folder(path, created_at=self.clock.now())
+        if retention is not None:
+            self.namespace.set_retention(path, retention)
+        return {"created": True, "path": normalize_path(path)}
+
+    def set_retention(self, path: str, retention_kind: str,
+                      purge_after: float = 3600.0, keep_last: int = 1) -> Dict[str, object]:
+        self._require_online()
+        self._count()
+        self.namespace.set_retention(
+            path,
+            RetentionConfig(
+                kind=RetentionPolicyKind(retention_kind),
+                purge_after=purge_after,
+                keep_last=keep_last,
+            ),
+        )
+        return {"updated": True}
+
+    def list_dir(self, path: str) -> List[str]:
+        self._require_online()
+        self._count()
+        return self.namespace.list_dir(path)
+
+    def exists(self, path: str) -> bool:
+        self._require_online()
+        self._count()
+        return self.namespace.exists(path)
+
+    def stat(self, path: str) -> Dict[str, object]:
+        """File or folder attributes (getattr equivalent)."""
+        self._require_online()
+        self._count()
+        if self.namespace.folder_exists(path):
+            folder = self.namespace.get_folder(path)
+            return {
+                "type": "directory",
+                "entries": len(folder.folders) + len(folder.files),
+                "created_at": folder.created_at,
+            }
+        entry = self.namespace.get_file(path)
+        dataset = self._dataset(entry.dataset_id)
+        latest = dataset.latest
+        return {
+            "type": "file",
+            "dataset_id": dataset.dataset_id,
+            "size": dataset.size,
+            "versions": dataset.version_numbers,
+            "created_at": entry.created_at,
+            "modified_at": latest.created_at if latest is not None else entry.created_at,
+        }
+
+    def delete(self, path: str) -> Dict[str, object]:
+        """Delete a file: metadata is dropped; chunks become GC-able orphans."""
+        self._require_online()
+        self._count()
+        entry = self.namespace.remove_file(path)
+        dataset = self._datasets.pop(entry.dataset_id, None)
+        self._replication_targets.pop(entry.dataset_id, None)
+        removed_versions = len(dataset) if dataset is not None else 0
+        return {"deleted": True, "versions_removed": removed_versions}
+
+    def remove_folder(self, path: str, force: bool = False) -> Dict[str, object]:
+        self._require_online()
+        self._count()
+        # Deleting a folder drops all files beneath it first.
+        removed = 0
+        if force:
+            for file_path, _entry in list(self.namespace.iter_files(path)):
+                self.delete(file_path)
+                removed += 1
+        self.namespace.remove_folder(path, force=force)
+        return {"deleted": True, "files_removed": removed}
+
+    # ------------------------------------------------------------ write sessions
+    def _dataset(self, dataset_id: str) -> DatasetMetadata:
+        try:
+            return self._datasets[dataset_id]
+        except KeyError:
+            raise UnknownDatasetError(f"unknown dataset id: {dataset_id}") from None
+
+    def _dataset_for_path(self, path: str) -> DatasetMetadata:
+        entry = self.namespace.get_file(path)
+        return self._dataset(entry.dataset_id)
+
+    def _allocate_stripe(self, stripe_width: int, required_space: int,
+                         exclude: Optional[Set[str]] = None) -> List[Dict[str, str]]:
+        views = self.registry.online_views()
+        allocation = self.striping.select(
+            views, stripe_width, exclude=exclude, required_space=required_space
+        )
+        return [
+            {"benefactor_id": bid, "address": self.registry.address_of(bid)}
+            for bid in allocation
+        ]
+
+    def create_session(self, path: str, client_id: str, expected_size: int = 0,
+                       stripe_width: Optional[int] = None,
+                       replication_level: Optional[int] = None) -> Dict[str, object]:
+        """Open a write session for ``path`` and allocate its stripe.
+
+        If ``path`` already exists the session targets a *new version* of the
+        same dataset (checkpoint versioning); otherwise a dataset is created.
+        """
+        self._require_online()
+        self._count()
+        now = self.clock.now()
+        width = stripe_width if stripe_width is not None else self.config.stripe_width
+        replication = (
+            replication_level if replication_level is not None
+            else self.config.replication_level
+        )
+
+        parent, _name = split_path(path)
+        self.namespace.ensure_folder(parent, created_at=now)
+        if self.namespace.file_exists(path):
+            entry = self.namespace.get_file(path)
+            dataset = self._dataset(entry.dataset_id)
+        else:
+            dataset_id = f"ds-{next(self._dataset_counter)}"
+            dataset = DatasetMetadata(dataset_id=dataset_id, name=path, folder=parent)
+            self._datasets[dataset_id] = dataset
+            self.namespace.add_file(path, dataset_id, created_at=now)
+        self._replication_targets[dataset.dataset_id] = replication
+
+        stripe = self._allocate_stripe(width, expected_size)
+        reservation = self.reservations.reserve(
+            client_id=client_id,
+            dataset_id=dataset.dataset_id,
+            amount=expected_size,
+            benefactors=[s["benefactor_id"] for s in stripe],
+            now=now,
+        )
+        version = dataset.allocate_version()
+        session = WriteSessionRecord(
+            session_id=f"session-{next(self._session_counter)}",
+            client_id=client_id,
+            path=normalize_path(path),
+            dataset_id=dataset.dataset_id,
+            version=version,
+            stripe=stripe,
+            reservation_id=reservation.reservation_id,
+            created_at=now,
+            replication_level=replication,
+        )
+        self._sessions[session.session_id] = session
+        return {
+            "session_id": session.session_id,
+            "dataset_id": dataset.dataset_id,
+            "version": version,
+            "stripe": stripe,
+            "chunk_size": self.config.chunk_size,
+            "reservation_id": reservation.reservation_id,
+            "replication_level": replication,
+        }
+
+    def extend_stripe(self, session_id: str, additional_space: int = 0) -> Dict[str, object]:
+        """Re-allocate the stripe for a session (e.g. a benefactor went away)."""
+        self._require_online()
+        self._count()
+        session = self._session(session_id)
+        stripe = self._allocate_stripe(len(session.stripe) or self.config.stripe_width,
+                                       additional_space)
+        session.stripe = stripe
+        return {"stripe": stripe}
+
+    def _session(self, session_id: str) -> WriteSessionRecord:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise UnknownDatasetError(f"unknown session: {session_id}") from None
+
+    def commit_session(self, session_id: str, chunk_map: Dict, size: int,
+                       producer: str = "", timestep: Optional[int] = None,
+                       attributes: Optional[Dict[str, str]] = None) -> Dict[str, object]:
+        """Atomically commit the dataset's chunk-map (session semantics)."""
+        self._require_online()
+        self._count()
+        session = self._session(session_id)
+        if session.committed:
+            raise CommitConflictError(f"session already committed: {session_id}")
+        if session.aborted:
+            raise CommitConflictError(f"session already aborted: {session_id}")
+        dataset = self._dataset(session.dataset_id)
+        version = DatasetVersion(
+            version=session.version,
+            chunk_map=ChunkMap.from_dict(chunk_map),
+            size=size,
+            created_at=self.clock.now(),
+            producer=producer,
+            timestep=timestep,
+            attributes=dict(attributes or {}),
+        )
+        dataset.commit_version(version)
+        session.committed = True
+        self.reservations.release(session.reservation_id)
+        return {
+            "committed": True,
+            "dataset_id": dataset.dataset_id,
+            "version": session.version,
+            "size": size,
+        }
+
+    def abort_session(self, session_id: str) -> Dict[str, object]:
+        self._require_online()
+        self._count()
+        session = self._session(session_id)
+        session.aborted = True
+        self.reservations.release(session.reservation_id)
+        return {"aborted": True}
+
+    def active_sessions(self) -> List[WriteSessionRecord]:
+        return [s for s in self._sessions.values() if s.active]
+
+    # ------------------------------------------------------------------- reads
+    def get_chunk_map(self, path: str, version: Optional[int] = None) -> Dict[str, object]:
+        """Return the chunk-map of ``path`` (latest version by default)."""
+        self._require_online()
+        self._count()
+        dataset = self._dataset_for_path(path)
+        if dataset.latest is None:
+            # The path exists in the namespace (a session was opened) but no
+            # version has been committed yet: session semantics hide it.
+            raise FileNotFoundInStdchkError(
+                f"{path} has no committed versions yet"
+            )
+        record = dataset.get_version(version)
+        addresses = {}
+        for benefactor_id in record.chunk_map.stored_benefactors:
+            if benefactor_id in self.registry:
+                addresses[benefactor_id] = self.registry.address_of(benefactor_id)
+        return {
+            "dataset_id": dataset.dataset_id,
+            "version": record.version,
+            "size": record.size,
+            "chunk_map": record.chunk_map.to_dict(),
+            "addresses": addresses,
+            "producer": record.producer,
+            "timestep": record.timestep,
+        }
+
+    def get_versions(self, path: str) -> List[Dict[str, object]]:
+        """Version history of a dataset (for restart/debugging tooling)."""
+        self._require_online()
+        self._count()
+        dataset = self._dataset_for_path(path)
+        return [
+            {
+                "version": v.version,
+                "size": v.size,
+                "created_at": v.created_at,
+                "producer": v.producer,
+                "timestep": v.timestep,
+                "chunks": v.chunk_count,
+            }
+            for v in dataset.versions
+        ]
+
+    def get_existing_chunks(self, path: str) -> Dict[str, object]:
+        """Chunk ids (with placements) already stored for this application.
+
+        The client's incremental-checkpointing writer uses this to avoid
+        re-pushing chunks whose content already lives in the pool: new
+        versions reference them copy-on-write.  Following the paper's naming
+        convention (all ``A.Ni.Tj`` images of application ``A`` are versions
+        of the same logical file), the inventory covers the latest version of
+        *every* file in the same application folder, not just prior versions
+        of ``path`` itself.
+        """
+        self._require_online()
+        self._count()
+        placements: Dict[str, List[str]] = {}
+
+        def _merge(version) -> None:
+            for placement in version.chunk_map:
+                existing = placements.setdefault(placement.ref.chunk_id, [])
+                for benefactor in placement.benefactors:
+                    if benefactor not in existing:
+                        existing.append(benefactor)
+
+        parent, _name = split_path(path)
+        if self.namespace.folder_exists(parent):
+            for sibling_path, entry in self.namespace.iter_files(parent):
+                dataset = self._datasets.get(entry.dataset_id)
+                if dataset is None or dataset.latest is None:
+                    continue
+                _merge(dataset.latest)
+        elif self.namespace.file_exists(path):
+            dataset = self._dataset_for_path(path)
+            if dataset.latest is not None:
+                _merge(dataset.latest)
+        return {"chunks": placements}
+
+    def resolve_addresses(self, benefactor_ids: Sequence[str]) -> Dict[str, str]:
+        self._require_online()
+        self._count()
+        addresses = {}
+        for benefactor_id in benefactor_ids:
+            if benefactor_id in self.registry:
+                addresses[benefactor_id] = self.registry.address_of(benefactor_id)
+        return addresses
+
+    # ----------------------------------------------------- service-facing helpers
+    def live_chunk_ids(self) -> Set[str]:
+        """Chunk ids referenced by any committed version of any dataset."""
+        live: Set[str] = set()
+        for dataset in self._datasets.values():
+            live.update(dataset.live_chunk_ids())
+        return live
+
+    def datasets(self) -> List[DatasetMetadata]:
+        return list(self._datasets.values())
+
+    def dataset_by_path(self, path: str) -> DatasetMetadata:
+        return self._dataset_for_path(path)
+
+    def replication_target_for(self, dataset_id: str) -> int:
+        return self._replication_targets.get(dataset_id, self.config.replication_level)
+
+    def drop_benefactor_placements(self, benefactor_id: str) -> int:
+        """Remove a departed benefactor from every committed chunk-map.
+
+        Returns the number of placements that lost a replica; the replication
+        service will re-create the missing replicas on other nodes.
+        """
+        affected = 0
+        for dataset in self._datasets.values():
+            for version in dataset.versions:
+                affected += version.chunk_map.drop_benefactor(benefactor_id)
+        return affected
+
+    def storage_summary(self) -> Dict[str, object]:
+        """Aggregate pool statistics (used by examples and benches)."""
+        datasets = self._datasets.values()
+        return {
+            "datasets": len(self._datasets),
+            "versions": sum(len(d) for d in datasets),
+            "logical_bytes": sum(d.total_stored_size for d in datasets),
+            "unique_chunks": len(self.live_chunk_ids()),
+            "benefactors_online": len(self.registry.online()),
+            "benefactors_known": len(self.registry),
+            "free_space": self.registry.total_free_space(),
+            "transactions": self.transactions,
+        }

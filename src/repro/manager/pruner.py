@@ -1,0 +1,77 @@
+"""Retention-policy pruner: automated, time-sensitive data management.
+
+Section IV.D: checkpoint images are organized per application folder whose
+metadata carries a retention policy.  The pruner periodically walks the
+namespace, determines the effective policy for each dataset, asks the policy
+which versions are obsolete, and removes their metadata.  The chunks
+referenced only by the removed versions become orphans that the garbage
+collector reclaims during its next exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.policies import make_retention_policy
+from repro.manager.manager import MetadataManager
+from repro.util.config import RetentionConfig
+
+
+@dataclass
+class PruneReport:
+    """Outcome of one pruning pass."""
+
+    datasets_examined: int = 0
+    versions_removed: int = 0
+    bytes_removed: int = 0
+    per_dataset: Dict[str, int] = field(default_factory=dict)
+
+
+class RetentionPruner:
+    """Applies per-folder retention policies to dataset version chains."""
+
+    def __init__(self, manager: MetadataManager,
+                 default_policy: Optional[RetentionConfig] = None) -> None:
+        self.manager = manager
+        self.default_policy = default_policy
+        self.reports: List[PruneReport] = []
+
+    def _policy_for(self, folder: str) -> Optional[RetentionConfig]:
+        config = self.manager.namespace.get_retention(folder)
+        if config is None:
+            config = self.default_policy
+        return config
+
+    def run_once(self) -> PruneReport:
+        """One pruning pass over every dataset in the namespace."""
+        report = PruneReport()
+        if not self.manager.online:
+            return report
+        now = self.manager.clock.now()
+        for path, entry in list(self.manager.namespace.iter_files("/")):
+            report.datasets_examined += 1
+            config = self._policy_for(path)
+            if config is None:
+                continue
+            policy = make_retention_policy(config)
+            try:
+                dataset = self.manager.dataset_by_path(path)
+            except Exception:
+                continue
+            prunable = policy.select_prunable(dataset, now)
+            for version in prunable:
+                dataset.remove_version(version.version)
+                report.versions_removed += 1
+                report.bytes_removed += version.size
+                report.per_dataset[path] = report.per_dataset.get(path, 0) + 1
+        self.reports.append(report)
+        return report
+
+    @property
+    def total_versions_removed(self) -> int:
+        return sum(r.versions_removed for r in self.reports)
+
+    @property
+    def total_bytes_removed(self) -> int:
+        return sum(r.bytes_removed for r in self.reports)

@@ -1,0 +1,184 @@
+"""Background replication service.
+
+Replication is implemented as a background task initiated by the manager
+(section IV.A): for each committed dataset version whose chunks sit below the
+target replication level, the service builds a *shadow chunk-map* — a plan
+assigning new benefactors to host additional replicas — sends it to the
+source benefactors which copy the chunks directly to the targets, and commits
+the shadow map into the primary chunk-map once the copies succeed.
+
+New-file creation has priority over replication; the service therefore
+defers its work while write sessions are active unless explicitly told not
+to (``yield_to_writers=False``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.chunk_map import ChunkMap, ShadowChunkMap
+from repro.core.replication import ReplicationState, ReplicationTask
+from repro.core.striping import StripingPolicy
+from repro.exceptions import EndpointUnreachableError, NoBenefactorsAvailableError, StdchkError
+from repro.manager.manager import MetadataManager
+from repro.transport.base import Transport
+
+
+class ReplicationService:
+    """Drives background replication for one manager.
+
+    The service is *tick driven*: each :meth:`run_once` call performs a full
+    scan-plan-copy-commit cycle.  Deployments that want continuous operation
+    call it from a thread or scheduler; tests and benchmarks call it directly
+    for determinism.
+    """
+
+    def __init__(
+        self,
+        manager: MetadataManager,
+        transport: Transport,
+        striping: Optional[StripingPolicy] = None,
+        yield_to_writers: bool = True,
+        max_copies_per_run: int = 10_000,
+    ) -> None:
+        self.manager = manager
+        self.transport = transport
+        self.striping = striping if striping is not None else manager.striping
+        self.yield_to_writers = yield_to_writers
+        self.max_copies_per_run = max_copies_per_run
+        #: History of completed replication rounds (for tests/benchmarks).
+        self.history: List[ReplicationState] = []
+
+    # -- planning ------------------------------------------------------------
+    def plan_for_version(self, dataset_id: str, version_number: int,
+                         chunk_map: ChunkMap, target_level: int) -> ShadowChunkMap:
+        """Build the shadow chunk-map for one under-replicated version."""
+        shadow = ShadowChunkMap(dataset_id=dataset_id, version=version_number)
+        views = self.manager.registry.online_views()
+        for placement in chunk_map.under_replicated(target_level):
+            missing = target_level - placement.replica_count
+            if missing <= 0 or not placement.benefactors:
+                continue
+            try:
+                allocation = self.striping.select(
+                    views,
+                    missing,
+                    exclude=set(placement.benefactors),
+                    required_space=placement.ref.length * missing,
+                )
+            except NoBenefactorsAvailableError:
+                continue
+            shadow.assign(placement.ref.chunk_id, list(allocation))
+        return shadow
+
+    # -- execution -------------------------------------------------------------
+    def _execute_shadow(self, shadow: ShadowChunkMap, chunk_map: ChunkMap,
+                        state: ReplicationState) -> None:
+        """Copy chunks according to ``shadow`` and merge successful copies."""
+        copies_done = 0
+        for chunk_id, targets in shadow.assignments.items():
+            placements = chunk_map.placements_for(chunk_id)
+            if not placements:
+                continue
+            sources = placements[0].benefactors
+            if not sources:
+                continue
+            source_id = sources[0]
+            try:
+                source_address = self.manager.registry.address_of(source_id)
+            except StdchkError:
+                continue
+            for target_id in targets:
+                if copies_done >= self.max_copies_per_run:
+                    return
+                task = ReplicationTask(
+                    chunk_id=chunk_id,
+                    source=source_id,
+                    target=target_id,
+                    dataset_id=shadow.dataset_id,
+                    version=shadow.version,
+                )
+                state.tasks.append(task)
+                try:
+                    target_address = self.manager.registry.address_of(target_id)
+                    task.mark_in_flight()
+                    result = self.transport.call(
+                        source_address,
+                        "replicate_to",
+                        chunk_ids=[chunk_id],
+                        target_address=target_address,
+                    )
+                except (EndpointUnreachableError, StdchkError) as exc:
+                    task.mark_failed(str(exc))
+                    self.manager.registry.mark_offline(source_id)
+                    continue
+                if chunk_id in result.get("copied", []):
+                    task.mark_done()
+                    for placement in placements:
+                        placement.add_replica(target_id)
+                    copies_done += 1
+                else:
+                    task.mark_failed("source no longer holds the chunk")
+
+    def run_once(self) -> List[ReplicationState]:
+        """Scan every dataset and bring under-replicated versions up to level.
+
+        Returns one :class:`ReplicationState` per version that needed work.
+        """
+        if not self.manager.online:
+            return []
+        if self.yield_to_writers and self.manager.active_sessions():
+            # Creation of new files has priority over replication.
+            return []
+        states: List[ReplicationState] = []
+        for dataset in self.manager.datasets():
+            target = self.manager.replication_target_for(dataset.dataset_id)
+            if target <= 1:
+                continue
+            for version in dataset.versions:
+                under = version.chunk_map.under_replicated(target)
+                if not under:
+                    continue
+                shadow = self.plan_for_version(
+                    dataset.dataset_id, version.version, version.chunk_map, target
+                )
+                if shadow.is_empty:
+                    continue
+                state = ReplicationState(
+                    dataset_id=dataset.dataset_id,
+                    version=version.version,
+                    target_level=target,
+                    shadow=shadow,
+                )
+                self._execute_shadow(shadow, version.chunk_map, state)
+                shadow.mark_committed()
+                states.append(state)
+        self.history.extend(states)
+        return states
+
+    def run_until_replicated(self, max_rounds: int = 10) -> int:
+        """Run repeatedly until no dataset is under-replicated (or give up).
+
+        Returns the number of rounds executed.  Useful after failure
+        injection in tests and in the durability example.
+        """
+        rounds = 0
+        for _ in range(max_rounds):
+            states = self.run_once()
+            rounds += 1
+            if not states:
+                break
+        return rounds
+
+    # -- reporting ------------------------------------------------------------
+    def pending_work(self) -> Dict[str, int]:
+        """Number of under-replicated placements per dataset (diagnostics)."""
+        pending: Dict[str, int] = {}
+        for dataset in self.manager.datasets():
+            target = self.manager.replication_target_for(dataset.dataset_id)
+            count = 0
+            for version in dataset.versions:
+                count += len(version.chunk_map.under_replicated(target))
+            if count:
+                pending[dataset.dataset_id] = count
+        return pending

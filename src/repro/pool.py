@@ -1,0 +1,198 @@
+"""Deployment helper: wire a complete stdchk pool in one call.
+
+A *pool* bundles the transport, the metadata manager, a set of benefactor
+nodes and the three background services (replication, garbage collection,
+retention pruning).  Tests, examples and the functional benchmarks all build
+their deployments through this class so the wiring logic lives in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.benefactor.benefactor import Benefactor
+from repro.benefactor.chunk_store import DiskChunkStore, MemoryChunkStore
+from repro.client.proxy import ClientProxy
+from repro.fs.filesystem import StdchkFilesystem
+from repro.manager.garbage_collector import GarbageCollector
+from repro.manager.manager import MetadataManager
+from repro.manager.pruner import RetentionPruner
+from repro.manager.replication_service import ReplicationService
+from repro.transport.base import Transport
+from repro.transport.inprocess import InProcessTransport
+from repro.util.clock import Clock, SystemClock, VirtualClock
+from repro.util.config import StdchkConfig
+from repro.util.units import GiB
+
+
+@dataclass
+class PoolStats:
+    """Snapshot of a pool's aggregate state."""
+
+    benefactors: int
+    benefactors_online: int
+    datasets: int
+    versions: int
+    unique_chunks: int
+    logical_bytes: int
+    stored_bytes: int
+    free_space: int
+    manager_transactions: int
+
+
+class StdchkPool:
+    """A fully-wired stdchk deployment inside one process."""
+
+    def __init__(
+        self,
+        benefactor_count: int = 4,
+        benefactor_capacity: int = 10 * GiB,
+        config: Optional[StdchkConfig] = None,
+        transport: Optional[Transport] = None,
+        clock: Optional[Clock] = None,
+        storage_root: Optional[str] = None,
+    ) -> None:
+        self.config = config if config is not None else StdchkConfig()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.transport = transport if transport is not None else InProcessTransport()
+        self.manager = MetadataManager(
+            transport=self.transport, config=self.config, clock=self.clock
+        )
+        self.benefactors: Dict[str, Benefactor] = {}
+        self._storage_root = storage_root
+        self._benefactor_capacity = benefactor_capacity
+        for index in range(benefactor_count):
+            self.add_benefactor(f"benefactor-{index:02d}", capacity=benefactor_capacity)
+
+        self.replication_service = ReplicationService(
+            manager=self.manager, transport=self.transport
+        )
+        self.garbage_collector = GarbageCollector(
+            manager=self.manager, transport=self.transport
+        )
+        self.pruner = RetentionPruner(manager=self.manager)
+        self._clients: List[ClientProxy] = []
+
+    # -- membership ------------------------------------------------------------
+    def add_benefactor(self, benefactor_id: str,
+                       capacity: Optional[int] = None) -> Benefactor:
+        """Add (and register) one benefactor to the pool."""
+        capacity = capacity if capacity is not None else self._benefactor_capacity
+        if self._storage_root is not None:
+            store = DiskChunkStore(
+                root=f"{self._storage_root}/{benefactor_id}", capacity=capacity
+            )
+        else:
+            store = MemoryChunkStore(capacity)
+        benefactor = Benefactor(
+            benefactor_id=benefactor_id,
+            transport=self.transport,
+            store=store,
+            clock=self.clock,
+        )
+        self.benefactors[benefactor_id] = benefactor
+        self.manager.register_benefactor(
+            benefactor_id=benefactor_id,
+            address=benefactor.address,
+            free_space=benefactor.free_space,
+            used_space=benefactor.used_space,
+            chunk_count=benefactor.store.chunk_count,
+        )
+        return benefactor
+
+    def heartbeat_all(self) -> None:
+        """Deliver one heartbeat from every online benefactor."""
+        for benefactor in self.benefactors.values():
+            if not benefactor.online:
+                continue
+            self.manager.heartbeat(
+                benefactor_id=benefactor.benefactor_id,
+                free_space=benefactor.free_space,
+                used_space=benefactor.used_space,
+                chunk_count=benefactor.store.chunk_count,
+            )
+
+    def fail_benefactor(self, benefactor_id: str, lose_data: bool = False) -> None:
+        """Take one benefactor offline (crash or owner reclaim)."""
+        benefactor = self.benefactors[benefactor_id]
+        benefactor.crash(lose_data=lose_data)
+        self.transport_disconnect(benefactor.address)
+        self.manager.report_benefactor_failure(benefactor_id)
+
+    def recover_benefactor(self, benefactor_id: str) -> None:
+        benefactor = self.benefactors[benefactor_id]
+        benefactor.go_online()
+        self.transport_reconnect(benefactor.address)
+        self.manager.register_benefactor(
+            benefactor_id=benefactor_id,
+            address=benefactor.address,
+            free_space=benefactor.free_space,
+            used_space=benefactor.used_space,
+            chunk_count=benefactor.store.chunk_count,
+        )
+
+    def transport_disconnect(self, address: str) -> None:
+        if isinstance(self.transport, InProcessTransport):
+            self.transport.disconnect(address)
+
+    def transport_reconnect(self, address: str) -> None:
+        if isinstance(self.transport, InProcessTransport):
+            self.transport.reconnect(address)
+
+    # -- clients -----------------------------------------------------------------
+    def client(self, client_id: str = "client-0",
+               config: Optional[StdchkConfig] = None,
+               spool_dir: Optional[str] = None) -> ClientProxy:
+        """Create a client proxy attached to this pool."""
+        proxy = ClientProxy(
+            client_id=client_id,
+            transport=self.transport,
+            manager_address=self.manager.address,
+            config=config if config is not None else self.config,
+            clock=self.clock,
+            spool_dir=spool_dir,
+        )
+        self._clients.append(proxy)
+        return proxy
+
+    def filesystem(self, client_id: str = "fs-client",
+                   config: Optional[StdchkConfig] = None) -> StdchkFilesystem:
+        """Create the POSIX-like facade ("mount /stdchk") for this pool."""
+        proxy = self.client(client_id=client_id, config=config)
+        return StdchkFilesystem(client=proxy, config=proxy.config)
+
+    # -- maintenance ------------------------------------------------------------------
+    def run_services_once(self) -> None:
+        """One tick of every background service (deterministic maintenance)."""
+        self.manager.expire_benefactors()
+        self.pruner.run_once()
+        self.replication_service.run_once()
+        self.garbage_collector.collect_expired_reservations()
+        self.garbage_collector.run_once()
+
+    def stabilize(self, rounds: int = 3) -> None:
+        """Run several maintenance rounds (replication + GC convergence)."""
+        for _ in range(rounds):
+            self.run_services_once()
+
+    # -- reporting ----------------------------------------------------------------------
+    def stats(self) -> PoolStats:
+        summary = self.manager.storage_summary()
+        stored = sum(b.used_space for b in self.benefactors.values())
+        return PoolStats(
+            benefactors=len(self.benefactors),
+            benefactors_online=sum(1 for b in self.benefactors.values() if b.online),
+            datasets=summary["datasets"],
+            versions=summary["versions"],
+            unique_chunks=summary["unique_chunks"],
+            logical_bytes=summary["logical_bytes"],
+            stored_bytes=stored,
+            free_space=summary["free_space"],
+            manager_transactions=summary["transactions"],
+        )
+
+    def stored_bytes(self) -> int:
+        """Physical bytes held across every benefactor (replicas included)."""
+        return sum(b.used_space for b in self.benefactors.values())

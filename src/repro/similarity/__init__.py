@@ -1,0 +1,32 @@
+"""Similarity detection between successive checkpoint images.
+
+Implements the two heuristics of section IV.C — fixed-size compare-by-hash
+(FsCH) and content-based compare-by-hash (CbCH, LBFS-style) — together with
+the statistics used by the Table 3 / Table 4 evaluation.
+"""
+
+from repro.similarity.base import (
+    DetectedChunk,
+    DetectionResult,
+    SimilarityDetector,
+    SimilarityReport,
+)
+from repro.similarity.fsch import FixedSizeCompareByHash
+from repro.similarity.cbch import ContentBasedCompareByHash
+from repro.similarity.stats import (
+    compare_images,
+    trace_similarity,
+    TraceSimilarityResult,
+)
+
+__all__ = [
+    "DetectedChunk",
+    "DetectionResult",
+    "SimilarityDetector",
+    "SimilarityReport",
+    "FixedSizeCompareByHash",
+    "ContentBasedCompareByHash",
+    "compare_images",
+    "trace_similarity",
+    "TraceSimilarityResult",
+]

@@ -1,0 +1,146 @@
+"""Common interfaces for similarity-detection heuristics.
+
+A *detector* splits a checkpoint image into chunks and names every chunk by a
+digest of its content.  Comparing the chunk-id multiset of one image against
+the previous image's yields the fraction of data that does not need to be
+re-transmitted or re-stored — the paper's "detected similarity".
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.chunk import ChunkId
+from repro.util.hashing import chunk_digest
+
+
+@dataclass(frozen=True)
+class DetectedChunk:
+    """One chunk produced by a detector: its content digest and extent."""
+
+    chunk_id: ChunkId
+    offset: int
+    length: int
+
+
+@dataclass
+class DetectionResult:
+    """Chunking of a single checkpoint image."""
+
+    chunks: List[DetectedChunk]
+    image_size: int
+    #: Wall-clock seconds spent hashing/scanning (drives the throughput
+    #: numbers of Tables 3 and 4).
+    elapsed: float
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def average_chunk_size(self) -> float:
+        if not self.chunks:
+            return 0.0
+        return sum(c.length for c in self.chunks) / len(self.chunks)
+
+    @property
+    def min_chunk_size(self) -> int:
+        return min((c.length for c in self.chunks), default=0)
+
+    @property
+    def max_chunk_size(self) -> int:
+        return max((c.length for c in self.chunks), default=0)
+
+    @property
+    def throughput(self) -> float:
+        """Bytes scanned per second of detector time."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.image_size / self.elapsed
+
+    def chunk_id_counts(self) -> Counter:
+        """Multiset of chunk ids (identical chunks may repeat within an image)."""
+        return Counter(c.chunk_id for c in self.chunks)
+
+
+@dataclass
+class SimilarityReport:
+    """Similarity of one image against its predecessor."""
+
+    total_bytes: int
+    duplicate_bytes: int
+    new_bytes: int
+    chunk_count: int
+    duplicate_chunks: int
+    elapsed: float
+
+    @property
+    def similarity_ratio(self) -> float:
+        """Fraction of bytes already present in the previous image (0..1)."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.duplicate_bytes / self.total_bytes
+
+    @property
+    def throughput(self) -> float:
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.total_bytes / self.elapsed
+
+
+class SimilarityDetector(ABC):
+    """Interface implemented by FsCH and CbCH."""
+
+    #: Short name used in benchmark tables ("FsCH-1MB", "CbCH-no-overlap"...).
+    name: str = "detector"
+
+    @abstractmethod
+    def chunk_image(self, image: bytes) -> DetectionResult:
+        """Split ``image`` into content-named chunks."""
+
+    def compare(self, previous: Optional[DetectionResult],
+                current: DetectionResult) -> SimilarityReport:
+        """Compute how much of ``current`` is already present in ``previous``.
+
+        Byte-weighted: a duplicated chunk contributes its length, matching
+        how the paper reports "detected similarity" and storage savings.
+        """
+        if previous is None:
+            return SimilarityReport(
+                total_bytes=current.image_size,
+                duplicate_bytes=0,
+                new_bytes=current.image_size,
+                chunk_count=current.chunk_count,
+                duplicate_chunks=0,
+                elapsed=current.elapsed,
+            )
+        available = previous.chunk_id_counts()
+        duplicate_bytes = 0
+        duplicate_chunks = 0
+        for chunk in current.chunks:
+            if available[chunk.chunk_id] > 0:
+                available[chunk.chunk_id] -= 1
+                duplicate_bytes += chunk.length
+                duplicate_chunks += 1
+        return SimilarityReport(
+            total_bytes=current.image_size,
+            duplicate_bytes=duplicate_bytes,
+            new_bytes=current.image_size - duplicate_bytes,
+            chunk_count=current.chunk_count,
+            duplicate_chunks=duplicate_chunks,
+            elapsed=current.elapsed,
+        )
+
+
+def hash_extent(image: bytes, offset: int, length: int) -> ChunkId:
+    """Digest a sub-range of ``image`` into a chunk id."""
+    return chunk_digest(image[offset:offset + length])
+
+
+def timed() -> float:
+    """Single timing source for detectors (monotonic seconds)."""
+    return time.perf_counter()

@@ -1,0 +1,136 @@
+"""Trace-level similarity statistics (the Table 3 / Table 4 methodology).
+
+Given a checkpoint *trace* — a sequence of successive images from the same
+application — and a detector, compute for each image the fraction of bytes
+already present in the predecessor, plus detector throughput and chunk-size
+statistics.  The benchmark harness prints these exactly as the paper's
+tables do: average detected similarity (%) and detector throughput (MB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.similarity.base import DetectionResult, SimilarityDetector, SimilarityReport
+from repro.util.units import MB
+
+
+@dataclass
+class TraceSimilarityResult:
+    """Aggregated similarity metrics over a whole checkpoint trace."""
+
+    detector_name: str
+    reports: List[SimilarityReport] = field(default_factory=list)
+    detections: List[DetectionResult] = field(default_factory=list)
+
+    # -- similarity ----------------------------------------------------------
+    @property
+    def average_similarity(self) -> float:
+        """Mean per-image similarity ratio, excluding the first image.
+
+        The first image of a trace has no predecessor, so (like the paper) it
+        is excluded from the similarity average: it can never be similar to
+        anything.
+        """
+        relevant = self.reports[1:]
+        if not relevant:
+            return 0.0
+        return sum(r.similarity_ratio for r in relevant) / len(relevant)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.total_bytes for r in self.reports)
+
+    @property
+    def duplicate_bytes(self) -> int:
+        return sum(r.duplicate_bytes for r in self.reports)
+
+    @property
+    def new_bytes(self) -> int:
+        return sum(r.new_bytes for r in self.reports)
+
+    @property
+    def data_reduction(self) -> float:
+        """Fraction of trace bytes that never need to be stored/transferred."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.duplicate_bytes / self.total_bytes
+
+    # -- throughput ------------------------------------------------------------
+    @property
+    def total_elapsed(self) -> float:
+        return sum(d.elapsed for d in self.detections)
+
+    @property
+    def throughput(self) -> float:
+        """Detector throughput in bytes/second over the whole trace."""
+        elapsed = self.total_elapsed
+        if elapsed <= 0:
+            return float("inf")
+        return sum(d.image_size for d in self.detections) / elapsed
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput / MB
+
+    # -- chunk sizes -------------------------------------------------------------
+    @property
+    def average_chunk_size(self) -> float:
+        sizes = [d.average_chunk_size for d in self.detections if d.chunk_count]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+    @property
+    def average_min_chunk_size(self) -> float:
+        sizes = [d.min_chunk_size for d in self.detections if d.chunk_count]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+    @property
+    def average_max_chunk_size(self) -> float:
+        sizes = [d.max_chunk_size for d in self.detections if d.chunk_count]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+    def summary_row(self) -> dict:
+        """Row dict used by the benchmark pretty-printers."""
+        return {
+            "detector": self.detector_name,
+            "similarity_pct": 100.0 * self.average_similarity,
+            "throughput_mbps": self.throughput_mbps,
+            "avg_chunk_kb": self.average_chunk_size / 1024.0,
+            "avg_min_chunk_kb": self.average_min_chunk_size / 1024.0,
+            "avg_max_chunk_kb": self.average_max_chunk_size / 1024.0,
+        }
+
+
+def compare_images(detector: SimilarityDetector, previous: Optional[bytes],
+                   current: bytes) -> SimilarityReport:
+    """Similarity of ``current`` against ``previous`` under ``detector``."""
+    previous_result = detector.chunk_image(previous) if previous is not None else None
+    current_result = detector.chunk_image(current)
+    return detector.compare(previous_result, current_result)
+
+
+def trace_similarity(detector: SimilarityDetector,
+                     images: Iterable[bytes]) -> TraceSimilarityResult:
+    """Run ``detector`` over a whole trace of successive checkpoint images.
+
+    Each image is chunked exactly once; its chunking is reused as the
+    predecessor for the next image, matching what the storage system itself
+    would do (it keeps the previous version's chunk-map, it does not re-hash
+    the old image).
+    """
+    result = TraceSimilarityResult(detector_name=detector.name)
+    previous: Optional[DetectionResult] = None
+    for image in images:
+        current = detector.chunk_image(image)
+        report = detector.compare(previous, current)
+        result.detections.append(current)
+        result.reports.append(report)
+        previous = current
+    return result

@@ -1,0 +1,53 @@
+"""Discrete-event simulation substrate.
+
+The paper's throughput results (Figures 2–8) were measured on two physical
+testbeds that are not available to this reproduction.  This package models
+them: a discrete-event engine, bandwidth resources shared max-min style
+between concurrent transfers, node and cluster builders parameterized with
+the device speeds the paper reports (86.2 MB/s local disk, 24.8 MB/s NFS,
+1 Gb/s and 10 Gb/s NICs), and simulated versions of the three write
+protocols that report the paper's two metrics — observed application
+bandwidth (OAB) and achieved storage bandwidth (ASB).
+"""
+
+from repro.simulation.engine import SimulationEngine, Event, Process, Timeout
+from repro.simulation.resources import BandwidthResource, Flow, FlowNetwork
+from repro.simulation.cluster import (
+    ClusterModel,
+    NodeModel,
+    PAPER_LAN_TESTBED,
+    PAPER_10G_TESTBED,
+    lan_testbed,
+    ten_gig_testbed,
+)
+from repro.simulation.storage_sim import (
+    SimWriteResult,
+    WriteSimulation,
+    simulate_write,
+    simulate_scalability_run,
+    ScalabilityResult,
+)
+from repro.simulation.churn import AvailabilityTrace, ChurnModel
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "Process",
+    "Timeout",
+    "BandwidthResource",
+    "Flow",
+    "FlowNetwork",
+    "ClusterModel",
+    "NodeModel",
+    "PAPER_LAN_TESTBED",
+    "PAPER_10G_TESTBED",
+    "lan_testbed",
+    "ten_gig_testbed",
+    "SimWriteResult",
+    "WriteSimulation",
+    "simulate_write",
+    "simulate_scalability_run",
+    "ScalabilityResult",
+    "AvailabilityTrace",
+    "ChurnModel",
+]

@@ -1,0 +1,182 @@
+"""A minimal discrete-event simulation engine.
+
+The engine schedules callbacks at virtual times and runs *processes* —
+Python generators that ``yield`` the things they wait for:
+
+* ``Timeout(delay)`` — resume after ``delay`` simulated seconds;
+* an :class:`Event` — resume when the event is triggered;
+* another :class:`Process` — resume when that process finishes.
+
+This is the subset of a SimPy-like API the storage simulations need, written
+from scratch so the repository has no external dependencies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.exceptions import SimulationError, SimulationTimeError
+
+
+class Event:
+    """A one-shot event that processes can wait for."""
+
+    def __init__(self, engine: "SimulationEngine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, waking every waiting process."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name or id(self)} already triggered")
+        self.triggered = True
+        self.value = value
+        for process in self._waiters:
+            self.engine._schedule_resume(process, value)
+        self._waiters.clear()
+        return self
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.triggered:
+            self.engine._schedule_resume(process, self.value)
+        else:
+            self._waiters.append(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationTimeError("timeout delay must be non-negative")
+        self.delay = delay
+
+
+class Process:
+    """A running generator, resumed by the engine when its waits complete."""
+
+    def __init__(self, engine: "SimulationEngine",
+                 generator: Generator, name: str = "") -> None:
+        self.engine = engine
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.completion = Event(engine, name=f"{name}-done")
+
+    def _step(self, value: Any = None) -> None:
+        """Advance the generator by one yield."""
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            if not self.completion.triggered:
+                self.completion.succeed(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            self.engine.call_at(self.engine.now + target.delay,
+                                lambda: self._step(None))
+        elif isinstance(target, Event):
+            target._add_waiter(self)
+        elif isinstance(target, Process):
+            target.completion._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded an unsupported object: {target!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class SimulationEngine:
+    """Event queue plus virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    # -- scheduling --------------------------------------------------------
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self.now - 1e-12:
+            raise SimulationTimeError(
+                f"cannot schedule at {when} (now is {self.now})"
+            )
+        heapq.heappush(self._queue, (max(when, self.now), next(self._sequence), callback))
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay`` simulated seconds."""
+        self.call_at(self.now + delay, callback)
+
+    def _schedule_resume(self, process: Process, value: Any) -> None:
+        self.call_at(self.now, lambda: process._step(value))
+
+    # -- processes ------------------------------------------------------------
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a process; it starts at the current time."""
+        process = Process(self, generator, name=name)
+        self.call_at(self.now, lambda: process._step(None))
+        return process
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(delay)
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or virtual time reaches ``until``.
+
+        Returns the virtual time at which execution stopped.
+        """
+        while self._queue:
+            when, _seq, callback = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = when
+            callback()
+            self.events_processed += 1
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_until_process(self, process: Process, hard_limit: float = 1e9) -> float:
+        """Run until ``process`` finishes (guarded by a hard time limit)."""
+        while not process.finished and self._queue:
+            if self.now > hard_limit:
+                raise SimulationError("simulation exceeded its hard time limit")
+            when, _seq, callback = heapq.heappop(self._queue)
+            self.now = when
+            callback()
+            self.events_processed += 1
+        if not process.finished:
+            raise SimulationError(
+                f"process {process.name!r} never finished (deadlock?)"
+            )
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

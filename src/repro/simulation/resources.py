@@ -1,0 +1,169 @@
+"""Bandwidth resources and flows.
+
+A *flow* is one data transfer (a chunk push, a local-disk write, an NFS
+write) that traverses one or more :class:`BandwidthResource` instances — the
+sender's NIC, a shared switch fabric, the receiver's NIC, the receiver's
+disk.  While several flows share a resource, each gets an equal share of its
+capacity; a flow's instantaneous rate is the minimum of its shares across
+the resources it traverses (a light-weight max-min approximation that
+captures the saturation and crossover behaviour the paper's figures show).
+
+Whenever a flow starts or finishes, the remaining bytes of every active flow
+are advanced at the old rates and all rates are recomputed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import Event, SimulationEngine
+
+
+class BandwidthResource:
+    """A device with a fixed capacity shared equally among active flows."""
+
+    def __init__(self, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError(f"resource {name!r} capacity must be positive")
+        self.name = name
+        self.capacity = capacity  # bytes per simulated second
+        self.active_flows: Set["Flow"] = set()
+        #: Total bytes that traversed the resource (utilisation accounting).
+        self.bytes_transferred = 0.0
+
+    def share(self) -> float:
+        """Per-flow fair share of this resource's capacity."""
+        if not self.active_flows:
+            return self.capacity
+        return self.capacity / len(self.active_flows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BandwidthResource({self.name!r}, {self.capacity:.0f} B/s)"
+
+
+class Flow:
+    """One transfer through a list of resources."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, resources: Sequence[BandwidthResource], size: float,
+                 completion: Event, label: str = "") -> None:
+        if size <= 0:
+            raise ValueError("flow size must be positive")
+        if not resources:
+            raise ValueError("a flow must traverse at least one resource")
+        self.flow_id = next(Flow._ids)
+        self.resources = list(resources)
+        self.remaining = float(size)
+        self.size = float(size)
+        self.completion = completion
+        self.label = label or f"flow-{self.flow_id}"
+        self.rate = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def __hash__(self) -> int:
+        return self.flow_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Flow) and other.flow_id == self.flow_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Flow({self.label!r}, remaining={self.remaining:.0f})"
+
+
+class FlowNetwork:
+    """Tracks active flows, recomputes rates and schedules completions."""
+
+    def __init__(self, engine: SimulationEngine) -> None:
+        self.engine = engine
+        self._flows: Set[Flow] = set()
+        self._last_update = 0.0
+        #: Earliest pending wake-up time, or None.  Keeping a single pending
+        #: wake-up (instead of one per membership change) keeps the event
+        #: count linear in the number of flows.
+        self._pending_wakeup: Optional[float] = None
+        self.completed_flows: List[Flow] = []
+
+    # -- public API ----------------------------------------------------------
+    def start_flow(self, resources: Sequence[BandwidthResource], size: float,
+                   label: str = "") -> Event:
+        """Begin a transfer; returns the event triggered at completion."""
+        completion = self.engine.event(name=f"{label}-complete")
+        flow = Flow(resources, size, completion, label=label)
+        self._advance_progress()
+        flow.started_at = self.engine.now
+        self._flows.add(flow)
+        for resource in flow.resources:
+            resource.active_flows.add(flow)
+        self._recompute_rates()
+        self._schedule_next_completion()
+        return completion
+
+    def transfer(self, resources: Sequence[BandwidthResource], size: float,
+                 label: str = ""):
+        """Generator helper: ``yield from network.transfer(...)`` in a process."""
+        completion = self.start_flow(resources, size, label=label)
+        yield completion
+
+    @property
+    def active_count(self) -> int:
+        return len(self._flows)
+
+    def throughput_now(self) -> float:
+        """Aggregate instantaneous rate of all active flows (bytes/second)."""
+        return sum(flow.rate for flow in self._flows)
+
+    # -- internals -------------------------------------------------------------
+    def _advance_progress(self) -> None:
+        """Apply progress accrued since the last membership change."""
+        now = self.engine.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                progressed = flow.rate * elapsed
+                flow.remaining = max(flow.remaining - progressed, 0.0)
+                for resource in flow.resources:
+                    resource.bytes_transferred += progressed
+        self._last_update = now
+
+    def _recompute_rates(self) -> None:
+        for flow in self._flows:
+            flow.rate = min(resource.share() for resource in flow.resources)
+
+    def _schedule_next_completion(self) -> None:
+        if not self._flows:
+            return
+        soonest = min(
+            (flow.remaining / flow.rate if flow.rate > 0 else float("inf"))
+            for flow in self._flows
+        )
+        if soonest == float("inf"):
+            raise SimulationError("active flows have zero rate; deadlock")
+        target = self.engine.now + soonest
+        if self._pending_wakeup is not None and self._pending_wakeup <= target + 1e-12:
+            # An earlier (or equal) wake-up is already scheduled; it will
+            # re-evaluate and reschedule as needed.
+            return
+        self._pending_wakeup = target
+        self.engine.call_at(target, self._on_wakeup)
+
+    def _on_wakeup(self) -> None:
+        self._pending_wakeup = None
+        self._advance_progress()
+        finished = [flow for flow in self._flows if flow.remaining <= 1e-6]
+        for flow in finished:
+            self._flows.remove(flow)
+            for resource in flow.resources:
+                resource.active_flows.discard(flow)
+            flow.finished_at = self.engine.now
+            self.completed_flows.append(flow)
+        self._recompute_rates()
+        for flow in finished:
+            if not flow.completion.triggered:
+                flow.completion.succeed(flow)
+        if self._flows:
+            self._schedule_next_completion()

@@ -1,0 +1,405 @@
+"""Simulated stdchk writes: reproduces the OAB/ASB methodology of section V.
+
+One :class:`WriteSimulation` models a single client writing one file to a
+stripe of benefactors under one of the three write protocols.  It reports
+the paper's two metrics:
+
+* **OAB** (observed application bandwidth) — file size divided by the time
+  between the application-level ``open()`` and ``close()``; the application
+  regains control once the interface has *accepted* all its data.
+* **ASB** (achieved storage bandwidth) — file size divided by the time until
+  every chunk is safely stored on benefactors (all remote I/O finished).
+
+The three protocols differ in where the accepted data sits before it reaches
+benefactors:
+
+* sliding window — a bounded memory buffer drained straight to the network;
+* incremental write — bounded temporary files; pushes overlap acceptance but
+  read back through the client's local disk;
+* complete local write — the whole file is spooled to the local disk first
+  (acceptance at local-I/O speed), and only then pushed out, reading back
+  through the same disk.
+
+Incremental checkpointing (FsCH) is modelled by a hashing stage on the
+acceptance path plus a fraction of chunks that never generate network
+traffic (``dedup_ratio``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.simulation.cluster import ClusterModel
+from repro.simulation.engine import Event, Process
+from repro.util.config import WriteProtocol
+from repro.util.units import MB, MiB
+
+
+@dataclass
+class SimWriteResult:
+    """Outcome of one simulated file write."""
+
+    protocol: WriteProtocol
+    file_size: int
+    stripe_width: int
+    buffer_size: int
+    open_time: float = 0.0
+    close_time: float = 0.0
+    storage_complete_time: float = 0.0
+    bytes_pushed: float = 0.0
+    bytes_deduplicated: float = 0.0
+    chunks_total: int = 0
+    chunks_deduplicated: int = 0
+
+    @property
+    def observed_application_bandwidth(self) -> float:
+        """OAB in bytes/second."""
+        elapsed = self.close_time - self.open_time
+        if elapsed <= 0:
+            return float("inf")
+        return self.file_size / elapsed
+
+    @property
+    def achieved_storage_bandwidth(self) -> float:
+        """ASB in bytes/second."""
+        elapsed = self.storage_complete_time - self.open_time
+        if elapsed <= 0:
+            return float("inf")
+        return self.file_size / elapsed
+
+    @property
+    def oab_mbps(self) -> float:
+        return self.observed_application_bandwidth / MB
+
+    @property
+    def asb_mbps(self) -> float:
+        return self.achieved_storage_bandwidth / MB
+
+    @property
+    def network_savings(self) -> float:
+        """Fraction of file bytes that never crossed the network."""
+        if self.file_size == 0:
+            return 0.0
+        return self.bytes_deduplicated / self.file_size
+
+
+class WriteSimulation:
+    """Simulates one file write on a :class:`ClusterModel`."""
+
+    def __init__(
+        self,
+        cluster: ClusterModel,
+        protocol: WriteProtocol,
+        file_size: int,
+        stripe_width: int,
+        client_index: int = 0,
+        benefactor_offset: int = 0,
+        chunk_size: int = 1 * MiB,
+        buffer_size: int = 64 * MiB,
+        incremental_file_size: int = 64 * MiB,
+        app_block_size: int = 1 * MiB,
+        dedup_ratio: float = 0.0,
+        hash_bandwidth: Optional[float] = None,
+        label: str = "write",
+    ) -> None:
+        if file_size <= 0:
+            raise ValueError("file_size must be positive")
+        if stripe_width <= 0 or stripe_width > cluster.benefactor_count:
+            raise ValueError("stripe_width must be in [1, benefactor_count]")
+        if not (0.0 <= dedup_ratio < 1.0):
+            raise ValueError("dedup_ratio must be in [0, 1)")
+        self.cluster = cluster
+        self.protocol = protocol
+        self.file_size = int(file_size)
+        self.stripe_width = stripe_width
+        self.client_index = client_index
+        self.benefactor_offset = benefactor_offset
+        self.chunk_size = chunk_size
+        self.buffer_size = buffer_size
+        self.incremental_file_size = incremental_file_size
+        self.app_block_size = app_block_size
+        self.dedup_ratio = dedup_ratio
+        self.hash_bandwidth = hash_bandwidth
+        self.label = label
+
+        engine = cluster.engine
+        self._emit_event: Event = engine.event(f"{label}-emit")
+        self._space_event: Event = engine.event(f"{label}-space")
+        self._storage_done: Event = engine.event(f"{label}-stored")
+        self._queues: List[Deque[Tuple[int, bool]]] = [
+            deque() for _ in range(stripe_width)
+        ]
+        self._buffer_used = 0
+        self._emitted_bytes = 0
+        self._emitted_chunks = 0
+        self._dedup_emitted = 0.0
+        self._chunks_done = 0
+        self._emitting_finished = False
+
+        self.result = SimWriteResult(
+            protocol=protocol,
+            file_size=self.file_size,
+            stripe_width=stripe_width,
+            buffer_size=buffer_size,
+        )
+
+    # -- derived rates -------------------------------------------------------
+    def _acceptance_rate(self) -> float:
+        """Bytes/second at which the interface accepts application writes."""
+        client = self.cluster.profile.client
+        if self.protocol is WriteProtocol.COMPLETE_LOCAL:
+            # Everything is spooled through the user-space layer to the local
+            # disk: acceptance proceeds at the FUSE-to-local-I/O rate.
+            return self.cluster.profile.fuse_local_bandwidth
+        rate = client.memcpy_bandwidth
+        if self.hash_bandwidth:
+            # FsCH hashes every accepted byte before it can be shipped.
+            rate = 1.0 / (1.0 / rate + 1.0 / self.hash_bandwidth)
+        return rate
+
+    def _buffer_limit(self) -> float:
+        if self.protocol is WriteProtocol.SLIDING_WINDOW:
+            return float(self.buffer_size)
+        if self.protocol is WriteProtocol.INCREMENTAL:
+            # One temporary file being filled plus one being pushed.
+            return float(2 * self.incremental_file_size)
+        return float("inf")
+
+    def _push_reads_local_disk(self) -> bool:
+        return self.protocol in (WriteProtocol.INCREMENTAL, WriteProtocol.COMPLETE_LOCAL)
+
+    def _benefactor_index(self, slot: int) -> int:
+        return (self.benefactor_offset + slot) % self.cluster.benefactor_count
+
+    # -- chunk emission ----------------------------------------------------------
+    def _is_duplicate(self, chunk_index: int) -> bool:
+        """Deterministically mark ``dedup_ratio`` of chunks as duplicates."""
+        if self.dedup_ratio <= 0:
+            return False
+        before = int(chunk_index * self.dedup_ratio)
+        after = int((chunk_index + 1) * self.dedup_ratio)
+        return after > before
+
+    def _emit_chunk(self, size: int) -> None:
+        slot = self._emitted_chunks % self.stripe_width
+        duplicate = self._is_duplicate(self._emitted_chunks)
+        self._queues[slot].append((size, duplicate))
+        self._emitted_chunks += 1
+        self._emitted_bytes += size
+        self._signal(self._emit_event, "_emit_event")
+
+    def _signal(self, event: Event, attribute: str) -> None:
+        setattr(self, attribute, self.cluster.engine.event())
+        if not event.triggered:
+            event.succeed()
+
+    # -- processes ----------------------------------------------------------------
+    def _application_process(self):
+        """Produces data and hands it to the write interface."""
+        engine = self.cluster.engine
+        rate = self._acceptance_rate()
+        limit = self._buffer_limit()
+        defer_emission = self.protocol is WriteProtocol.COMPLETE_LOCAL
+        accepted = 0
+        pending_chunk = 0
+        while accepted < self.file_size:
+            block = min(self.app_block_size, self.file_size - accepted)
+            # Block while the interface buffer (or temp-file backlog) is full.
+            while self._buffer_used + block > limit:
+                yield self._space_event
+            yield engine.timeout(block / rate)
+            accepted += block
+            self._buffer_used += block
+            pending_chunk += block
+            if not defer_emission:
+                while pending_chunk >= self.chunk_size:
+                    self._emit_chunk(self.chunk_size)
+                    pending_chunk -= self.chunk_size
+        if not defer_emission and pending_chunk > 0:
+            self._emit_chunk(pending_chunk)
+            pending_chunk = 0
+        # The application regains control here: close() returns.
+        self.result.close_time = engine.now
+        if defer_emission:
+            remaining = self.file_size
+            while remaining > 0:
+                size = min(self.chunk_size, remaining)
+                self._emit_chunk(size)
+                remaining -= size
+        self._emitting_finished = True
+        self._signal(self._emit_event, "_emit_event")
+        # Wait for the storage side so the overall process finishes at ASB time.
+        if not self._storage_done.triggered:
+            yield self._storage_done
+        return self.result
+
+    def _drainer_process(self, slot: int):
+        """Pushes the chunks assigned to one stripe slot, in order."""
+        cluster = self.cluster
+        network = cluster.network
+        benefactor = self._benefactor_index(slot)
+        while True:
+            if self._queues[slot]:
+                size, duplicate = self._queues[slot].popleft()
+                if duplicate:
+                    # FsCH found this chunk in the previous version: only the
+                    # chunk-map references it, no data crosses the network.
+                    self.result.bytes_deduplicated += size
+                    self.result.chunks_deduplicated += 1
+                else:
+                    path = cluster.push_path(self.client_index, benefactor)
+                    if self._push_reads_local_disk():
+                        path = [cluster.client_disks[self.client_index]] + path
+                    yield network.start_flow(
+                        path, size, label=f"{self.label}-s{slot}-c{self._chunks_done}"
+                    )
+                    self.result.bytes_pushed += size
+                self._buffer_used -= size
+                self._signal(self._space_event, "_space_event")
+                self._chunks_done += 1
+                self.result.chunks_total = max(
+                    self.result.chunks_total, self._chunks_done
+                )
+                if (self._emitting_finished and self._chunks_done == self._emitted_chunks
+                        and not self._storage_done.triggered):
+                    self.result.storage_complete_time = cluster.engine.now
+                    self._storage_done.succeed()
+                    return
+            else:
+                if self._emitting_finished:
+                    return
+                yield self._emit_event
+
+    def start(self) -> Process:
+        """Launch the write; returns the process that ends at ASB completion."""
+        engine = self.cluster.engine
+        self.result.open_time = engine.now
+        main = engine.process(self._application_process(), name=f"{self.label}-app")
+        for slot in range(self.stripe_width):
+            engine.process(self._drainer_process(slot), name=f"{self.label}-drain{slot}")
+        return main
+
+
+def simulate_write(
+    cluster: ClusterModel,
+    protocol: WriteProtocol,
+    file_size: int,
+    stripe_width: int,
+    **kwargs,
+) -> SimWriteResult:
+    """Run one write to completion and return its result."""
+    simulation = WriteSimulation(
+        cluster, protocol, file_size, stripe_width, **kwargs
+    )
+    process = simulation.start()
+    cluster.engine.run_until_process(process)
+    return simulation.result
+
+
+# ----------------------------------------------------------------------------
+# Multi-client scalability run (Figure 8)
+# ----------------------------------------------------------------------------
+@dataclass
+class ScalabilityResult:
+    """Outcome of a multi-client scalability run."""
+
+    per_write: List[SimWriteResult] = field(default_factory=list)
+    total_bytes: int = 0
+    duration: float = 0.0
+    #: (time, aggregate throughput in bytes/s) samples.
+    timeline: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def aggregate_throughput(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.total_bytes / self.duration
+
+    @property
+    def peak_throughput(self) -> float:
+        if not self.timeline:
+            return 0.0
+        return max(rate for _t, rate in self.timeline)
+
+    @property
+    def sustained_throughput(self) -> float:
+        """Median of the non-zero timeline samples (the plateau of Figure 8)."""
+        rates = sorted(rate for _t, rate in self.timeline if rate > 0)
+        if not rates:
+            return 0.0
+        return rates[len(rates) // 2]
+
+
+def _client_workload(cluster: ClusterModel, client_index: int, files: int,
+                     file_size: int, stripe_width: int, start_delay: float,
+                     results: List[SimWriteResult], **write_kwargs):
+    """One client: wait for its staggered start, then write files back-to-back."""
+    engine = cluster.engine
+    if start_delay > 0:
+        yield engine.timeout(start_delay)
+    for index in range(files):
+        simulation = WriteSimulation(
+            cluster,
+            WriteProtocol.SLIDING_WINDOW,
+            file_size,
+            stripe_width,
+            client_index=client_index,
+            benefactor_offset=(client_index * stripe_width + index) % cluster.benefactor_count,
+            label=f"client{client_index}-file{index}",
+            **write_kwargs,
+        )
+        process = simulation.start()
+        yield process
+        results.append(simulation.result)
+
+
+def simulate_scalability_run(
+    cluster: ClusterModel,
+    client_count: int,
+    files_per_client: int,
+    file_size: int,
+    stripe_width: int,
+    client_start_interval: float = 10.0,
+    sample_interval: float = 5.0,
+    **write_kwargs,
+) -> ScalabilityResult:
+    """Reproduce the Figure 8 methodology: staggered clients stress the pool."""
+    results: List[SimWriteResult] = []
+    engine = cluster.engine
+    for client_index in range(client_count):
+        engine.process(
+            _client_workload(
+                cluster,
+                client_index,
+                files_per_client,
+                file_size,
+                stripe_width,
+                start_delay=client_index * client_start_interval,
+                results=results,
+                **write_kwargs,
+            ),
+            name=f"client-{client_index}",
+        )
+    end_time = engine.run()
+
+    outcome = ScalabilityResult(per_write=results)
+    outcome.total_bytes = sum(r.file_size for r in results)
+    outcome.duration = end_time
+
+    # Build the aggregate-throughput timeline from completed push flows.
+    flows = cluster.network.completed_flows
+    if flows:
+        horizon = max(f.finished_at for f in flows if f.finished_at is not None)
+        buckets = int(horizon / sample_interval) + 1
+        totals = [0.0] * buckets
+        for flow in flows:
+            if flow.finished_at is None:
+                continue
+            totals[int(flow.finished_at / sample_interval)] += flow.size
+        outcome.timeline = [
+            (index * sample_interval, total / sample_interval)
+            for index, total in enumerate(totals)
+        ]
+    return outcome

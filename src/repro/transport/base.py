@@ -1,0 +1,98 @@
+"""Transport abstractions.
+
+stdchk components never hold direct references to each other: they know each
+other's *addresses* and issue calls through a :class:`Transport`.  This keeps
+the manager/benefactor/client code identical whether the deployment is
+in-process (tests, benchmarks) or spread over TCP sockets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict
+
+from repro.exceptions import EndpointUnreachableError, ProtocolError
+
+
+class Endpoint(ABC):
+    """An object that can be exported over a transport.
+
+    Exported methods are ordinary public methods; the transport dispatches a
+    call ``(method, payload)`` to ``getattr(endpoint, method)(**payload)``.
+    Methods prefixed with ``_`` are never exported.
+    """
+
+    def exported_methods(self) -> Dict[str, Callable[..., Any]]:
+        """Mapping of method name to bound callable for every exported method."""
+        methods: Dict[str, Callable[..., Any]] = {}
+        for name in dir(self):
+            if name.startswith("_"):
+                continue
+            attribute = getattr(self, name)
+            if callable(attribute):
+                methods[name] = attribute
+        return methods
+
+    def dispatch(self, method: str, payload: Dict[str, Any]) -> Any:
+        """Invoke ``method`` with keyword arguments ``payload``."""
+        if method.startswith("_"):
+            raise ProtocolError(f"refusing to dispatch private method {method!r}")
+        handler = getattr(self, method, None)
+        if handler is None or not callable(handler):
+            raise ProtocolError(f"endpoint has no method {method!r}")
+        return handler(**payload)
+
+
+class Transport(ABC):
+    """Delivers calls to endpoints identified by string addresses."""
+
+    @abstractmethod
+    def call(self, address: str, method: str, /, **payload: Any) -> Any:
+        """Invoke ``method`` on the endpoint at ``address``.
+
+        Raises :class:`~repro.exceptions.EndpointUnreachableError` when the
+        endpoint cannot be contacted.  Exceptions raised by the remote method
+        propagate to the caller (the in-process transport re-raises them
+        directly; the TCP transport re-raises a reconstructed instance).
+        """
+
+    @abstractmethod
+    def register(self, address: str, endpoint: Endpoint) -> None:
+        """Make ``endpoint`` reachable at ``address`` (server side)."""
+
+    @abstractmethod
+    def unregister(self, address: str) -> None:
+        """Remove the endpoint at ``address``."""
+
+    def proxy(self, address: str) -> "RemoteProxy":
+        """Return a convenience proxy whose attribute calls become RPCs."""
+        return RemoteProxy(self, address)
+
+
+class RemoteProxy:
+    """Attribute-style sugar over :meth:`Transport.call`.
+
+    ``proxy.put_chunk(chunk_id=..., data=...)`` is equivalent to
+    ``transport.call(address, "put_chunk", chunk_id=..., data=...)``.
+    """
+
+    def __init__(self, transport: Transport, address: str) -> None:
+        self._transport = transport
+        self._address = address
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    def __getattr__(self, method: str) -> Any:
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def _invoke(**payload: Any) -> Any:
+            return self._transport.call(self._address, method, **payload)
+
+        _invoke.__name__ = method
+        return _invoke
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteProxy({self._address!r})"

@@ -1,0 +1,196 @@
+"""TCP transport: length-prefixed pickled frames over localhost sockets.
+
+This transport demonstrates that the manager, benefactors and clients operate
+unchanged across process boundaries.  The framing is deliberately simple:
+
+``[8-byte big-endian length][pickled (method, payload) tuple]``
+
+and the response frame carries either ``("ok", result)`` or
+``("error", exception_instance)``.  Pickle is acceptable here because the
+system is deployed inside a single administrative domain (the paper's desktop
+grid assumption) — it is not an untrusted-network protocol.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import socketserver
+import struct
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import EndpointUnreachableError, ProtocolError
+from repro.transport.base import Endpoint, Transport
+
+_LENGTH = struct.Struct(">Q")
+
+
+def _send_frame(sock: socket.socket, obj: Any) -> None:
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    buffer = bytearray()
+    while len(buffer) < count:
+        part = sock.recv(count - len(buffer))
+        if not part:
+            raise ProtocolError("connection closed mid-frame")
+        buffer.extend(part)
+    return bytes(buffer)
+
+
+def _recv_frame(sock: socket.socket) -> Any:
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    payload = _recv_exact(sock, length)
+    return pickle.loads(payload)
+
+
+class _RequestHandler(socketserver.BaseRequestHandler):
+    """Handles one connection; each frame is one RPC."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via integration
+        endpoint: Endpoint = self.server.endpoint  # type: ignore[attr-defined]
+        while True:
+            try:
+                method, payload = _recv_frame(self.request)
+            except (ProtocolError, ConnectionError, EOFError):
+                return
+            try:
+                result = endpoint.dispatch(method, payload)
+                _send_frame(self.request, ("ok", result))
+            except Exception as exc:  # noqa: BLE001 - errors cross the wire
+                _send_frame(self.request, ("error", exc))
+
+
+class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class TcpServer:
+    """Expose a single endpoint on a TCP port (one server per endpoint)."""
+
+    def __init__(self, endpoint: Endpoint, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = _ThreadedTcpServer((host, port), _RequestHandler)
+        self._server.endpoint = endpoint  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        host, port = self._server.server_address
+        return f"{host}:{port}"
+
+    def start(self) -> "TcpServer":
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+class TcpTransport(Transport):
+    """Client-side transport issuing calls to ``host:port`` addresses.
+
+    Connections are pooled per address and reused across calls; the pool is
+    guarded by a lock so one transport instance can be shared by threads.
+    """
+
+    def __init__(self, connect_timeout: float = 5.0) -> None:
+        self._connect_timeout = connect_timeout
+        self._connections: Dict[str, socket.socket] = {}
+        self._lock = threading.RLock()
+        self._servers: Dict[str, TcpServer] = {}
+
+    # -- server-side helpers ----------------------------------------------------
+    def register(self, address: str, endpoint: Endpoint) -> None:
+        """Serve ``endpoint``.
+
+        ``address`` is an opaque advisory key; when it embeds ``host:port``
+        (an optional ``scheme://`` prefix is ignored) the server binds there,
+        otherwise it binds an ephemeral port on 127.0.0.1.  The actual bound
+        address is available through :meth:`bound_address`.
+        """
+        target = address.split("://", 1)[-1]
+        host, separator, port = target.rpartition(":")
+        if not separator or not port.isdigit():
+            host, port = "127.0.0.1", "0"
+        server = TcpServer(endpoint, host=host or "127.0.0.1", port=int(port))
+        server.start()
+        with self._lock:
+            self._servers[address] = server
+
+    def bound_address(self, address: str) -> str:
+        with self._lock:
+            return self._servers[address].address
+
+    def unregister(self, address: str) -> None:
+        with self._lock:
+            server = self._servers.pop(address, None)
+        if server is not None:
+            server.stop()
+
+    def close(self) -> None:
+        with self._lock:
+            for sock in self._connections.values():
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - best effort cleanup
+                    pass
+            self._connections.clear()
+            servers = list(self._servers.values())
+            self._servers.clear()
+        for server in servers:
+            server.stop()
+
+    # -- client-side calls ----------------------------------------------------------
+    def _connection(self, address: str) -> socket.socket:
+        with self._lock:
+            sock = self._connections.get(address)
+            if sock is not None:
+                return sock
+            host, _, port = address.partition(":")
+            try:
+                sock = socket.create_connection(
+                    (host, int(port)), timeout=self._connect_timeout
+                )
+            except OSError as exc:
+                raise EndpointUnreachableError(
+                    f"cannot connect to {address}: {exc}"
+                ) from exc
+            sock.settimeout(None)
+            self._connections[address] = sock
+            return sock
+
+    def _drop_connection(self, address: str) -> None:
+        with self._lock:
+            sock = self._connections.pop(address, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best effort cleanup
+                pass
+
+    def call(self, address: str, method: str, /, **payload: Any) -> Any:
+        sock = self._connection(address)
+        try:
+            with self._lock:
+                _send_frame(sock, (method, payload))
+                status, result = _recv_frame(sock)
+        except (ConnectionError, ProtocolError, OSError) as exc:
+            self._drop_connection(address)
+            raise EndpointUnreachableError(
+                f"call to {address} failed: {exc}"
+            ) from exc
+        if status == "ok":
+            return result
+        if status == "error" and isinstance(result, Exception):
+            raise result
+        raise ProtocolError(f"malformed response from {address}: {status!r}")

@@ -1,0 +1,53 @@
+"""Shared utilities: hashing, size units, clocks, naming and configuration."""
+
+from repro.util.hashing import (
+    chunk_digest,
+    digest_bytes,
+    hexdigest_bytes,
+    RollingHash,
+)
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    KB,
+    MB,
+    GB,
+    format_size,
+    format_rate,
+    parse_size,
+)
+from repro.util.clock import Clock, SystemClock, VirtualClock
+from repro.util.naming import CheckpointName, parse_checkpoint_name, format_checkpoint_name
+from repro.util.config import (
+    StdchkConfig,
+    WriteProtocol,
+    WriteSemantics,
+    RetentionPolicyKind,
+)
+
+__all__ = [
+    "chunk_digest",
+    "digest_bytes",
+    "hexdigest_bytes",
+    "RollingHash",
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "format_size",
+    "format_rate",
+    "parse_size",
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+    "CheckpointName",
+    "parse_checkpoint_name",
+    "format_checkpoint_name",
+    "StdchkConfig",
+    "WriteProtocol",
+    "WriteSemantics",
+    "RetentionPolicyKind",
+]

@@ -1,0 +1,68 @@
+"""Clock abstractions.
+
+The functional storage system (manager, benefactors, clients) needs a notion
+of time for heartbeats, reservation leases, retention policies and replication
+scheduling.  Tests and the discrete-event simulator need to control time
+explicitly, so every component takes a :class:`Clock` and the default is the
+wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Minimal clock interface: monotonically non-decreasing seconds."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in seconds."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Advance (or wait) ``seconds``."""
+
+
+class SystemClock(Clock):
+    """Wall-clock backed by :func:`time.monotonic` for interval arithmetic."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A manually-advanced clock for tests and simulation harnesses."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``."""
+        if timestamp < self._now:
+            raise ValueError("cannot advance a clock backwards")
+        self._now = timestamp
+        return self._now

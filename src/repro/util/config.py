@@ -1,0 +1,182 @@
+"""Configuration objects shared by the functional system and the simulator.
+
+The paper exposes a small number of tunables to applications (section IV):
+the write protocol, the write semantics (optimistic vs. pessimistic), the
+replication level, the stripe width, the chunk size, the sliding-window
+buffer size and the incremental-write temporary-file size.  They are grouped
+here in a single validated dataclass so that clients, the FS facade and the
+simulated deployments agree on defaults.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.util.units import MiB
+
+
+class WriteProtocol(enum.Enum):
+    """The three write-optimized protocols of section IV.B."""
+
+    #: Dump the full image to node-local storage, push after close().
+    COMPLETE_LOCAL = "complete-local-write"
+    #: Bounded temporary files pushed while the application keeps writing.
+    INCREMENTAL = "incremental-write"
+    #: Push straight from the in-memory write buffer, no local disk at all.
+    SLIDING_WINDOW = "sliding-window"
+
+
+class WriteSemantics(enum.Enum):
+    """Commit semantics governing the durability/throughput tradeoff."""
+
+    #: Return once the first replica is safely stored; replicate in background.
+    OPTIMISTIC = "optimistic"
+    #: Return only after the requested replication level is reached.
+    PESSIMISTIC = "pessimistic"
+
+
+class RetentionPolicyKind(enum.Enum):
+    """Per-application-folder lifetime management scenarios (section IV.D)."""
+
+    #: Keep every version of every timestep indefinitely.
+    NO_INTERVENTION = "no-intervention"
+    #: A newer checkpoint image makes the previous ones obsolete.
+    AUTOMATED_REPLACE = "automated-replace"
+    #: Purge images after a configurable age.
+    AUTOMATED_PURGE = "automated-purge"
+
+
+class SimilarityHeuristic(enum.Enum):
+    """Heuristics for incremental-checkpoint similarity detection."""
+
+    NONE = "none"
+    FSCH = "fixed-size-compare-by-hash"
+    CBCH = "content-based-compare-by-hash"
+
+
+@dataclass
+class StdchkConfig:
+    """Client- and system-level tunables with paper defaults.
+
+    Defaults follow the prototype evaluated in section V: 1 MB chunks,
+    stripe width of 4, sliding-window writes with a 64 MB buffer, optimistic
+    commit with a replication level of 2, and FsCH-based incremental
+    checkpointing disabled unless requested.
+    """
+
+    chunk_size: int = 1 * MiB
+    stripe_width: int = 4
+    write_protocol: WriteProtocol = WriteProtocol.SLIDING_WINDOW
+    write_semantics: WriteSemantics = WriteSemantics.OPTIMISTIC
+    replication_level: int = 2
+    similarity_heuristic: SimilarityHeuristic = SimilarityHeuristic.NONE
+
+    #: Sliding-window in-memory buffer (paper sweeps 32–512 MB).
+    window_buffer_size: int = 64 * MiB
+    #: Incremental-write temporary-file size bound.
+    incremental_file_size: int = 64 * MiB
+
+    #: Soft-state registration: benefactors are evicted after this silence.
+    heartbeat_interval: float = 5.0
+    heartbeat_timeout: float = 30.0
+
+    #: Space reservations are garbage collected after this lease expires.
+    reservation_lease: float = 300.0
+
+    #: Period of the manager's background replication scan.
+    replication_scan_interval: float = 10.0
+    #: Period of the benefactor-driven garbage-collection exchange.
+    gc_interval: float = 60.0
+    #: Period of the retention-policy pruner.
+    prune_interval: float = 60.0
+
+    #: FsCH block size when similarity detection is enabled.
+    fsch_block_size: int = 1 * MiB
+    #: CbCH window size (m) in bytes and boundary bits (k).
+    cbch_window_size: int = 20
+    cbch_boundary_bits: int = 14
+    #: CbCH minimum/maximum chunk bounds to cap pathological boundaries.
+    cbch_min_chunk: int = 2 * 1024
+    cbch_max_chunk: int = 8 * MiB
+
+    #: Optional cap on read-ahead in the FS facade (bytes).
+    read_ahead: int = 4 * MiB
+    #: Metadata cache time-to-live for readdir/getattr answers (seconds).
+    metadata_cache_ttl: float = 2.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` when values are inconsistent."""
+        if self.chunk_size <= 0:
+            raise ConfigurationError("chunk_size must be positive")
+        if self.stripe_width <= 0:
+            raise ConfigurationError("stripe_width must be positive")
+        if self.replication_level <= 0:
+            raise ConfigurationError("replication_level must be positive")
+        if self.window_buffer_size < self.chunk_size:
+            raise ConfigurationError(
+                "window_buffer_size must hold at least one chunk"
+            )
+        if self.incremental_file_size < self.chunk_size:
+            raise ConfigurationError(
+                "incremental_file_size must hold at least one chunk"
+            )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ConfigurationError(
+                "heartbeat_timeout must exceed heartbeat_interval"
+            )
+        if self.fsch_block_size <= 0:
+            raise ConfigurationError("fsch_block_size must be positive")
+        if self.cbch_window_size <= 0:
+            raise ConfigurationError("cbch_window_size must be positive")
+        if not (0 < self.cbch_boundary_bits < 32):
+            raise ConfigurationError("cbch_boundary_bits must be in (0, 32)")
+        if self.cbch_min_chunk <= 0 or self.cbch_max_chunk < self.cbch_min_chunk:
+            raise ConfigurationError("invalid CbCH chunk bounds")
+        if self.read_ahead < 0:
+            raise ConfigurationError("read_ahead must be non-negative")
+        if self.metadata_cache_ttl < 0:
+            raise ConfigurationError("metadata_cache_ttl must be non-negative")
+
+    def with_overrides(self, **kwargs) -> "StdchkConfig":
+        """Return a copy with ``kwargs`` replaced and re-validated."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class BenefactorConfig:
+    """Per-benefactor contribution settings."""
+
+    contributed_space: int = 10 * 1024 * MiB
+    node_id: Optional[str] = None
+    #: Root directory for the disk-backed store; None selects the memory store.
+    storage_root: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.contributed_space <= 0:
+            raise ConfigurationError("contributed_space must be positive")
+
+
+@dataclass
+class RetentionConfig:
+    """Retention policy attached to an application folder."""
+
+    kind: RetentionPolicyKind = RetentionPolicyKind.NO_INTERVENTION
+    #: For AUTOMATED_PURGE: images older than this many seconds are removed.
+    purge_after: float = 3600.0
+    #: For AUTOMATED_REPLACE: how many most-recent timesteps to keep.
+    keep_last: int = 1
+
+    def __post_init__(self) -> None:
+        if self.purge_after <= 0:
+            raise ConfigurationError("purge_after must be positive")
+        if self.keep_last <= 0:
+            raise ConfigurationError("keep_last must be positive")
+
+
+DEFAULT_CONFIG = StdchkConfig()

@@ -1,0 +1,141 @@
+"""Hashing primitives used throughout stdchk.
+
+Two families of hashes are needed by the paper's design:
+
+* **Content addressing** of chunks (section IV.C, "content based
+  addressability"): a cryptographic digest of the chunk payload names the
+  chunk, enabling dedup across checkpoint versions and integrity checking of
+  data returned by potentially faulty benefactors.  We use SHA-1 like the
+  LBFS lineage the paper builds on; the digest algorithm is configurable.
+
+* **Rolling hashes** for content-based chunk-boundary detection (CbCH).  The
+  paper follows LBFS: slide a window of ``m`` bytes over the image, hash each
+  window position and declare a boundary whenever the low ``k`` bits of the
+  hash are zero.  We implement a Rabin–Karp polynomial rolling hash that can
+  be slid one byte at a time in O(1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+#: Default digest algorithm for content addressing.
+DEFAULT_DIGEST = "sha1"
+
+
+def digest_bytes(data: bytes, algorithm: str = DEFAULT_DIGEST) -> bytes:
+    """Return the raw digest of ``data`` under ``algorithm``."""
+    h = hashlib.new(algorithm)
+    h.update(data)
+    return h.digest()
+
+
+def hexdigest_bytes(data: bytes, algorithm: str = DEFAULT_DIGEST) -> str:
+    """Return the hexadecimal digest of ``data`` under ``algorithm``."""
+    h = hashlib.new(algorithm)
+    h.update(data)
+    return h.hexdigest()
+
+
+def chunk_digest(data: bytes, algorithm: str = DEFAULT_DIGEST) -> str:
+    """Content-address a chunk: the hex digest that names it in stdchk."""
+    return hexdigest_bytes(data, algorithm)
+
+
+class RollingHash:
+    """Rabin–Karp rolling hash over a fixed-size byte window.
+
+    The hash of a window ``b[0..m-1]`` is ``sum(b[i] * B**(m-1-i)) mod M``
+    where ``B`` is a small prime base and ``M`` a large modulus.  Sliding the
+    window by one byte updates the hash in constant time with
+    :meth:`roll`.
+
+    Parameters
+    ----------
+    window_size:
+        Number of bytes the window covers (the paper's ``m``).
+    base:
+        Polynomial base.  Any odd value > 256 works; the default matches the
+        classic Rabin–Karp choice.
+    modulus:
+        Modulus applied to the hash.  A 31-bit Mersenne prime keeps every
+        intermediate product inside 64 bits (which lets the content-defined
+        chunker vectorize the same polynomial with NumPy) while providing a
+        near-uniform low-bit distribution (the low ``k`` bits are what CbCH
+        inspects).
+    """
+
+    __slots__ = ("window_size", "base", "modulus", "_value", "_filled", "_high_power")
+
+    def __init__(self, window_size: int, base: int = 257, modulus: int = (1 << 31) - 1) -> None:
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if base <= 1:
+            raise ValueError("base must be > 1")
+        if modulus <= base:
+            raise ValueError("modulus must exceed base")
+        self.window_size = window_size
+        self.base = base
+        self.modulus = modulus
+        self._value = 0
+        self._filled = 0
+        #: base ** (window_size - 1) mod modulus, used when evicting the
+        #: oldest byte during a roll.
+        self._high_power = pow(base, window_size - 1, modulus)
+
+    @property
+    def value(self) -> int:
+        """Current hash value of the window contents."""
+        return self._value
+
+    @property
+    def filled(self) -> bool:
+        """True once ``window_size`` bytes have been pushed."""
+        return self._filled >= self.window_size
+
+    def reset(self) -> None:
+        """Forget the current window contents."""
+        self._value = 0
+        self._filled = 0
+
+    def push(self, byte: int) -> int:
+        """Append ``byte`` to a window that is still filling up.
+
+        Returns the updated hash value.  Pushing more than ``window_size``
+        bytes without rolling is an error: use :meth:`roll` instead.
+        """
+        if self._filled >= self.window_size:
+            raise ValueError("window already full; use roll() to slide it")
+        self._value = (self._value * self.base + byte) % self.modulus
+        self._filled += 1
+        return self._value
+
+    def roll(self, incoming: int, outgoing: int) -> int:
+        """Slide the window one byte: drop ``outgoing``, append ``incoming``."""
+        if self._filled < self.window_size:
+            raise ValueError("window not yet full; use push() first")
+        self._value = (
+            (self._value - outgoing * self._high_power) * self.base + incoming
+        ) % self.modulus
+        return self._value
+
+    def hash_window(self, data: bytes, start: int = 0) -> int:
+        """Hash ``data[start:start+window_size]`` from scratch (O(m))."""
+        end = start + self.window_size
+        if end > len(data):
+            raise ValueError("window extends past end of data")
+        value = 0
+        for b in data[start:end]:
+            value = (value * self.base + b) % self.modulus
+        return value
+
+    def low_bits_zero(self, k: int, value: Optional[int] = None) -> bool:
+        """Return True when the low ``k`` bits of the hash are all zero.
+
+        This is CbCH's boundary predicate: statistically one in 2**k window
+        positions satisfies it, yielding an expected chunk size of about
+        ``2**k`` bytes.
+        """
+        v = self._value if value is None else value
+        return (v & ((1 << k) - 1)) == 0

@@ -1,0 +1,80 @@
+"""The stdchk checkpoint naming convention.
+
+Section IV.D of the paper: checkpoint files are named ``A.Ni.Tj`` where ``A``
+is the application, ``Ni`` the node the process runs on and ``Tj`` the
+timestep.  All images of application ``A`` across its nodes are treated as
+versions of the same logical file, organized inside a folder for that
+application whose metadata carries the retention policy.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import NamingError
+
+_NAME_RE = re.compile(
+    r"^(?P<app>[A-Za-z0-9_\-]+)\.N(?P<node>\d+)\.T(?P<timestep>\d+)$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class CheckpointName:
+    """Parsed form of an ``A.Ni.Tj`` checkpoint file name."""
+
+    application: str
+    node: int
+    timestep: int
+
+    def __post_init__(self) -> None:
+        if not self.application:
+            raise NamingError("application name must be non-empty")
+        if self.node < 0 or self.timestep < 0:
+            raise NamingError("node and timestep indices must be non-negative")
+        if "." in self.application:
+            raise NamingError("application name may not contain '.'")
+
+    @property
+    def filename(self) -> str:
+        """Render back to the ``A.Ni.Tj`` convention."""
+        return f"{self.application}.N{self.node}.T{self.timestep}"
+
+    @property
+    def folder(self) -> str:
+        """The per-application folder holding every image of ``application``."""
+        return self.application
+
+    def successor(self) -> "CheckpointName":
+        """Name of the next timestep's image from the same process."""
+        return CheckpointName(self.application, self.node, self.timestep + 1)
+
+    def sibling(self, node: int) -> "CheckpointName":
+        """Name of the same timestep's image from a different process."""
+        return CheckpointName(self.application, node, self.timestep)
+
+
+def parse_checkpoint_name(name: str) -> CheckpointName:
+    """Parse ``A.Ni.Tj`` into a :class:`CheckpointName`.
+
+    Raises :class:`~repro.exceptions.NamingError` when the name does not
+    follow the convention.
+    """
+    match = _NAME_RE.match(name)
+    if match is None:
+        raise NamingError(f"not a valid checkpoint name: {name!r}")
+    return CheckpointName(
+        application=match.group("app"),
+        node=int(match.group("node")),
+        timestep=int(match.group("timestep")),
+    )
+
+
+def format_checkpoint_name(application: str, node: int, timestep: int) -> str:
+    """Render a checkpoint name following the ``A.Ni.Tj`` convention."""
+    return CheckpointName(application, node, timestep).filename
+
+
+def is_checkpoint_name(name: str) -> bool:
+    """Return True when ``name`` follows the ``A.Ni.Tj`` convention."""
+    return _NAME_RE.match(name) is not None

@@ -1,0 +1,93 @@
+"""Byte-size and bandwidth units plus human-readable formatting.
+
+The paper mixes decimal (networking: 1 Gbps, MB/s figures) and binary (chunk
+sizes: 1 MB chunks, 256 KB blocks) conventions.  We follow the same
+convention: *chunk and buffer sizes* use binary units (``MiB`` aliased to the
+paper's "MB"), *bandwidths* use decimal megabytes per second.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Binary units (sizes).
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# Decimal units (bandwidths, network capacities).
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+#: Convenience aliases matching the paper's loose "MB" usage for buffers.
+CHUNK_MB = MiB
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]?i?B?)\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "K": KB,
+    "KB": KB,
+    "KIB": KiB,
+    "M": MB,
+    "MB": MB,
+    "MIB": MiB,
+    "G": GB,
+    "GB": GB,
+    "GIB": GiB,
+    "T": 1000 * GB,
+    "TB": 1000 * GB,
+    "TIB": 1024 * GiB,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-readable size like ``"256KiB"`` or ``"1.5 GB"`` to bytes."""
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    number = float(match.group("num"))
+    unit = match.group("unit").upper()
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unknown unit in size: {text!r}")
+    return int(number * _UNIT_FACTORS[unit])
+
+
+def format_size(num_bytes: float, binary: bool = True) -> str:
+    """Format ``num_bytes`` as a short human-readable string."""
+    if num_bytes < 0:
+        return "-" + format_size(-num_bytes, binary=binary)
+    step = 1024.0 if binary else 1000.0
+    suffixes = ["B", "KiB", "MiB", "GiB", "TiB"] if binary else ["B", "KB", "MB", "GB", "TB"]
+    value = float(num_bytes)
+    for suffix in suffixes:
+        if value < step or suffix == suffixes[-1]:
+            if suffix == "B":
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+        value /= step
+    return f"{value:.1f}{suffixes[-1]}"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Format a bandwidth in the paper's customary MB/s."""
+    return f"{bytes_per_second / MB:.1f}MB/s"
+
+
+def mbps(value: float) -> float:
+    """Convert a value in MB/s (decimal) to bytes/s."""
+    return value * MB
+
+
+def gbit(value: float) -> float:
+    """Convert a link capacity in Gb/s to bytes/s."""
+    return value * GB / 8.0
+
+
+def mbit(value: float) -> float:
+    """Convert a link capacity in Mb/s to bytes/s."""
+    return value * MB / 8.0

@@ -1,0 +1,41 @@
+"""Checkpoint workload generators.
+
+The paper grounds its similarity study (Tables 2–4) and end-to-end run
+(Table 5) in checkpoint traces from two applications: BMS (application-level
+checkpointing) and BLAST (checkpointed via the BLCR library and via Xen).
+Those traces are not publicly available, so this package generates synthetic
+traces that reproduce the *structural* properties the paper reports — image
+sizes, checkpoint counts and, crucially, the level of similarity each
+checkpointing mechanism leaves detectable between successive images.
+"""
+
+from repro.workloads.traces import CheckpointTrace, TraceInfo
+from repro.workloads.generators import (
+    ApplicationLevelGenerator,
+    BlcrLikeGenerator,
+    XenLikeGenerator,
+    CheckpointImageGenerator,
+)
+from repro.workloads.applications import (
+    ApplicationModel,
+    SimulatedApplicationRun,
+    bms_trace,
+    blast_blcr_trace,
+    blast_xen_trace,
+    paper_table2_traces,
+)
+
+__all__ = [
+    "CheckpointTrace",
+    "TraceInfo",
+    "ApplicationLevelGenerator",
+    "BlcrLikeGenerator",
+    "XenLikeGenerator",
+    "CheckpointImageGenerator",
+    "ApplicationModel",
+    "SimulatedApplicationRun",
+    "bms_trace",
+    "blast_blcr_trace",
+    "blast_xen_trace",
+    "paper_table2_traces",
+]

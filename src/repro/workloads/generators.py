@@ -1,0 +1,197 @@
+"""Synthetic checkpoint-image generators.
+
+Each generator models the byte-level structure one checkpointing mechanism
+leaves behind, calibrated so the similarity heuristics see the same picture
+the paper reports (Table 3):
+
+* **Application-level (BMS)** — the application writes its own compact,
+  effectively-compressed state: successive images share no detectable
+  commonality (0% for both heuristics).
+* **Library-level (BLCR-like)** — a process memory dump.  Most pages survive
+  from one checkpoint to the next (high intrinsic similarity), but small
+  insertions/deletions shift the byte stream, so fixed-size blocks only stay
+  aligned up to the first insertion point: CbCH detects most of the
+  commonality (~84% at 5-minute intervals), FsCH only the aligned prefix
+  (~25%).  Longer intervals dirty more pages and shift earlier, lowering
+  both (CbCH ~70%, FsCH ~7%).
+* **VM-level (Xen-like)** — Xen saves memory pages in essentially random
+  order and annotates each saved page, so neither heuristic finds
+  similarity even though the underlying VM memory barely changed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Optional
+
+from repro.util.units import KiB, MiB
+
+
+class CheckpointImageGenerator(ABC):
+    """Produces the successive checkpoint images of one process."""
+
+    def __init__(self, image_size: int, seed: int = 0) -> None:
+        if image_size <= 0:
+            raise ValueError("image_size must be positive")
+        self.image_size = image_size
+        self.seed = seed
+
+    @abstractmethod
+    def images(self, count: int) -> Iterator[bytes]:
+        """Yield ``count`` successive checkpoint images."""
+
+    def first_image(self) -> bytes:
+        return next(iter(self.images(1)))
+
+
+def _random_block(rng: random.Random, size: int) -> bytes:
+    """Pseudo-random bytes; randbytes is fast and deterministic per seed."""
+    return rng.randbytes(size)
+
+
+class ApplicationLevelGenerator(CheckpointImageGenerator):
+    """Application-managed checkpoints: compact state, no detectable overlap.
+
+    The paper attributes the zero detected similarity to the
+    "user-controlled, ideally-compressed format" of these images; compressed
+    data is indistinguishable from fresh random bytes to a hash-based
+    detector, which is exactly how the images are generated here.
+    """
+
+    def images(self, count: int) -> Iterator[bytes]:
+        for index in range(count):
+            rng = random.Random(f"{self.seed}-app-{index}")
+            yield _random_block(rng, self.image_size)
+
+
+class BlcrLikeGenerator(CheckpointImageGenerator):
+    """Library-level (BLCR-style) process memory dumps.
+
+    Parameters
+    ----------
+    dirty_fraction:
+        Fraction of memory pages rewritten between successive checkpoints
+        (grows with the checkpoint interval).
+    aligned_prefix_fraction:
+        Fraction of the image (from its start) guaranteed to receive no
+        insertions; this is the region where fixed-size blocks stay aligned,
+        and therefore roughly the similarity FsCH can detect.
+    insertions:
+        Number of small variable-length insertions applied per checkpoint
+        (heap/stack growth, new allocations); each insertion shifts all
+        downstream bytes, defeating fixed-size chunking past that point.
+    page_size:
+        Granularity of the simulated memory pages.
+    """
+
+    def __init__(
+        self,
+        image_size: int,
+        seed: int = 0,
+        dirty_fraction: float = 0.15,
+        aligned_prefix_fraction: float = 0.27,
+        insertions: int = 4,
+        page_size: int = 4 * KiB,
+        dirty_region_count: int = 4,
+    ) -> None:
+        super().__init__(image_size, seed)
+        if not (0.0 <= dirty_fraction < 1.0):
+            raise ValueError("dirty_fraction must be in [0, 1)")
+        if not (0.0 < aligned_prefix_fraction <= 1.0):
+            raise ValueError("aligned_prefix_fraction must be in (0, 1]")
+        if insertions < 0:
+            raise ValueError("insertions must be non-negative")
+        if dirty_region_count <= 0:
+            raise ValueError("dirty_region_count must be positive")
+        self.dirty_fraction = dirty_fraction
+        self.aligned_prefix_fraction = aligned_prefix_fraction
+        self.insertions = insertions
+        self.page_size = page_size
+        self.dirty_region_count = dirty_region_count
+
+    def images(self, count: int) -> Iterator[bytes]:
+        rng = random.Random(f"{self.seed}-blcr")
+        page_count = max(self.image_size // self.page_size, 1)
+        pages: List[bytes] = [
+            _random_block(rng, self.page_size) for _ in range(page_count)
+        ]
+        for index in range(count):
+            if index > 0:
+                self._mutate(pages, rng, page_count)
+            yield b"".join(pages)[: self.image_size + self.insertions * self.page_size]
+
+    def _mutate(self, pages: List[bytes], rng: random.Random,
+                base_page_count: int) -> None:
+        """Apply one checkpoint interval's worth of change to the memory.
+
+        Dirty pages are grouped in a handful of contiguous regions (memory
+        writes exhibit spatial locality: an updated data structure dirties a
+        run of adjacent pages), so most unmodified blocks remain bit-for-bit
+        identical and detectable.  Insertions land beyond the stable prefix
+        and shift every later byte, which is what defeats fixed-size
+        chunking while content-defined chunking recovers.
+        """
+        page_count = len(pages)
+        # Dirty regions: contiguous runs rewritten in place, no shift.
+        dirty_pages_total = int(self.dirty_fraction * page_count)
+        region_length = max(dirty_pages_total // self.dirty_region_count, 1)
+        for _ in range(self.dirty_region_count):
+            start = rng.randrange(page_count)
+            for offset in range(region_length):
+                victim = (start + offset) % page_count
+                pages[victim] = _random_block(rng, self.page_size)
+        # Insertions: small, unaligned growth beyond the stable prefix.
+        first_insertable = max(int(self.aligned_prefix_fraction * page_count), 1)
+        for _ in range(self.insertions):
+            position = rng.randrange(first_insertable, page_count + 1)
+            blob = _random_block(rng, rng.randrange(64, self.page_size))
+            pages.insert(position, blob)
+        # Trim stale fragments so images do not grow unboundedly.
+        while len(pages) > base_page_count + 2 * self.insertions:
+            victim = rng.randrange(first_insertable, len(pages))
+            pages.pop(victim)
+
+
+class XenLikeGenerator(CheckpointImageGenerator):
+    """VM-level (Xen-style) checkpoints.
+
+    Xen optimizes for checkpoint speed: it dumps memory pages in essentially
+    random order and prefixes each saved page with bookkeeping metadata so
+    the VM can be reconstructed.  Both behaviours are modelled here, and both
+    destroy detectable similarity: page order changes relocate content, and
+    the per-page metadata (which embeds the checkpoint sequence number)
+    perturbs every page's byte neighbourhood.
+    """
+
+    def __init__(self, image_size: int, seed: int = 0,
+                 page_size: int = 4 * KiB, metadata_size: int = 24) -> None:
+        super().__init__(image_size, seed)
+        self.page_size = page_size
+        self.metadata_size = metadata_size
+
+    def images(self, count: int) -> Iterator[bytes]:
+        rng = random.Random(f"{self.seed}-xen")
+        effective_page = self.page_size + self.metadata_size
+        page_count = max(self.image_size // effective_page, 1)
+        # The guest's memory itself barely changes between checkpoints...
+        memory: List[bytes] = [
+            _random_block(rng, self.page_size) for _ in range(page_count)
+        ]
+        for index in range(count):
+            if index > 0:
+                # ...only a small fraction of pages is dirtied per interval.
+                for _ in range(max(page_count // 50, 1)):
+                    victim = rng.randrange(page_count)
+                    memory[victim] = _random_block(rng, self.page_size)
+            order = list(range(page_count))
+            rng.shuffle(order)
+            parts: List[bytes] = []
+            for page_number in order:
+                metadata = (
+                    index.to_bytes(8, "big")
+                    + page_number.to_bytes(8, "big")
+                    + rng.randbytes(self.metadata_size - 16)
+                )
+                parts.append(metadata + memory[page_number])
+            yield b"".join(parts)

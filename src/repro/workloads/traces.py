@@ -1,0 +1,87 @@
+"""Checkpoint traces: ordered sequences of checkpoint images.
+
+A trace is what the similarity heuristics and the storage system consume: a
+sequence of byte images produced by the same process at successive
+timesteps, plus the descriptive statistics Table 2 reports (checkpoint
+interval, image count, average image size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from repro.util.units import MiB
+
+
+@dataclass
+class TraceInfo:
+    """The Table 2 row describing one collected trace."""
+
+    application: str
+    checkpointing_type: str
+    checkpoint_interval_min: float
+    image_count: int
+    average_image_size: float
+
+    def summary_row(self) -> dict:
+        return {
+            "application": self.application,
+            "checkpointing_type": self.checkpointing_type,
+            "interval_min": self.checkpoint_interval_min,
+            "checkpoints": self.image_count,
+            "avg_size_mb": self.average_image_size / MiB,
+        }
+
+
+class CheckpointTrace:
+    """A lazily-generated sequence of checkpoint images.
+
+    Traces can be large (the paper's BLCR traces are hundreds of ~280 MB
+    images).  To keep memory bounded, a trace stores a *generator factory*
+    rather than materialized images; iterating the trace produces images one
+    at a time, and repeated iteration regenerates the identical sequence
+    (generators are deterministic given their seed).
+    """
+
+    def __init__(self, info: TraceInfo, image_factory) -> None:
+        self.info = info
+        self._image_factory = image_factory
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._image_factory())
+
+    def images(self, limit: Optional[int] = None) -> Iterator[bytes]:
+        """Iterate the trace's images, optionally stopping after ``limit``."""
+        for index, image in enumerate(self):
+            if limit is not None and index >= limit:
+                return
+            yield image
+
+    def materialize(self, limit: Optional[int] = None) -> List[bytes]:
+        """Return the images as a list (use only for small traces/tests)."""
+        return list(self.images(limit))
+
+    @property
+    def application(self) -> str:
+        return self.info.application
+
+    @property
+    def image_count(self) -> int:
+        return self.info.image_count
+
+    def measured_info(self, limit: Optional[int] = None) -> TraceInfo:
+        """Recompute the Table 2 statistics from the generated images."""
+        count = 0
+        total = 0
+        for image in self.images(limit):
+            count += 1
+            total += len(image)
+        average = total / count if count else 0.0
+        return TraceInfo(
+            application=self.info.application,
+            checkpointing_type=self.info.checkpointing_type,
+            checkpoint_interval_min=self.info.checkpoint_interval_min,
+            image_count=count,
+            average_image_size=average,
+        )

@@ -1,0 +1,160 @@
+"""Tests for chunk stores and the benefactor node."""
+
+import pytest
+
+from repro.benefactor.benefactor import Benefactor
+from repro.benefactor.chunk_store import DiskChunkStore, MemoryChunkStore
+from repro.core.chunk import Chunk, content_chunk_id
+from repro.exceptions import (
+    BenefactorOfflineError,
+    ChunkIntegrityError,
+    ChunkNotFoundError,
+    StoreFullError,
+)
+from repro.transport.inprocess import InProcessTransport
+
+
+def chunk(data=b"payload"):
+    return Chunk.from_data(data)
+
+
+class TestMemoryChunkStore:
+    def test_put_get_delete(self):
+        store = MemoryChunkStore(capacity=1024)
+        item = chunk()
+        store.put(item)
+        assert store.contains(item.chunk_id)
+        assert store.get(item.chunk_id).data == item.data
+        assert store.delete(item.chunk_id)
+        assert not store.delete(item.chunk_id)
+
+    def test_space_accounting(self):
+        store = MemoryChunkStore(capacity=100)
+        store.put(chunk(b"a" * 40))
+        assert store.used_space == 40
+        assert store.free_space == 60
+        assert store.chunk_count == 1
+
+    def test_capacity_enforced(self):
+        store = MemoryChunkStore(capacity=50)
+        store.put(chunk(b"a" * 40))
+        with pytest.raises(StoreFullError):
+            store.put(chunk(b"b" * 20))
+
+    def test_duplicate_put_is_noop(self):
+        store = MemoryChunkStore(capacity=100)
+        item = chunk(b"a" * 40)
+        store.put(item)
+        store.put(item)
+        assert store.used_space == 40
+
+    def test_missing_chunk_raises(self):
+        with pytest.raises(ChunkNotFoundError):
+            MemoryChunkStore(1024).get("sha1:nope")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryChunkStore(0)
+
+
+class TestDiskChunkStore:
+    def test_round_trip_and_restart(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = DiskChunkStore(root=root, capacity=1 << 20)
+        item = chunk(b"persisted bytes")
+        store.put(item)
+        assert store.get(item.chunk_id).data == item.data
+        # A new store instance over the same directory sees the chunk (restart).
+        reopened = DiskChunkStore(root=root, capacity=1 << 20)
+        assert reopened.contains(item.chunk_id)
+        assert reopened.used_space == len(item.data)
+
+    def test_delete_removes_file(self, tmp_path):
+        store = DiskChunkStore(root=str(tmp_path), capacity=1 << 20)
+        item = chunk(b"to delete")
+        store.put(item)
+        assert store.delete(item.chunk_id)
+        assert store.chunk_count == 0
+
+    def test_capacity_enforced(self, tmp_path):
+        store = DiskChunkStore(root=str(tmp_path), capacity=10)
+        with pytest.raises(StoreFullError):
+            store.put(chunk(b"x" * 100))
+
+
+class TestBenefactor:
+    def make(self, capacity=1 << 20):
+        transport = InProcessTransport()
+        benefactor = Benefactor("b0", transport, capacity=capacity)
+        return transport, benefactor
+
+    def test_registration_address(self):
+        transport, benefactor = self.make()
+        assert transport.is_connected(benefactor.address)
+
+    def test_put_get_roundtrip_via_transport(self):
+        transport, benefactor = self.make()
+        payload = b"chunk data" * 100
+        chunk_id = content_chunk_id(payload)
+        answer = transport.call(benefactor.address, "put_chunk",
+                                chunk_id=chunk_id, data=payload)
+        assert answer["stored"]
+        assert transport.call(benefactor.address, "get_chunk", chunk_id=chunk_id) == payload
+        assert benefactor.stats["puts"] == 1
+        assert benefactor.stats["gets"] == 1
+
+    def test_put_verifies_content_address(self):
+        _transport, benefactor = self.make()
+        with pytest.raises(ChunkIntegrityError):
+            benefactor.put_chunk(chunk_id=content_chunk_id(b"good"), data=b"evil")
+
+    def test_offline_rejects_operations(self):
+        _transport, benefactor = self.make()
+        benefactor.go_offline()
+        with pytest.raises(BenefactorOfflineError):
+            benefactor.put_chunk(chunk_id=content_chunk_id(b"x"), data=b"x")
+        with pytest.raises(BenefactorOfflineError):
+            benefactor.status()
+        benefactor.go_online()
+        benefactor.put_chunk(chunk_id=content_chunk_id(b"x"), data=b"x")
+
+    def test_crash_with_data_loss(self):
+        _transport, benefactor = self.make()
+        benefactor.put_chunk(chunk_id=content_chunk_id(b"x"), data=b"x")
+        benefactor.crash(lose_data=True)
+        benefactor.go_online()
+        assert benefactor.store.chunk_count == 0
+
+    def test_status_reports_free_space(self):
+        _transport, benefactor = self.make(capacity=1000)
+        benefactor.put_chunk(chunk_id=content_chunk_id(b"y" * 100), data=b"y" * 100)
+        status = benefactor.status()
+        assert status["free_space"] == 900
+        assert status["chunk_count"] == 1
+        assert status["benefactor_id"] == "b0"
+
+    def test_delete_and_bulk_delete(self):
+        _transport, benefactor = self.make()
+        ids = []
+        for index in range(3):
+            payload = bytes([index]) * 10
+            chunk_id = content_chunk_id(payload)
+            benefactor.put_chunk(chunk_id=chunk_id, data=payload)
+            ids.append(chunk_id)
+        assert benefactor.delete_chunk(ids[0])
+        assert not benefactor.delete_chunk("sha1:missing")
+        assert benefactor.delete_chunks(ids[1:] + ["sha1:other"]) == 2
+        assert benefactor.list_chunks() == []
+
+    def test_replicate_to_peer(self):
+        transport = InProcessTransport()
+        source = Benefactor("src", transport)
+        target = Benefactor("dst", transport)
+        payload = b"replica payload"
+        chunk_id = content_chunk_id(payload)
+        source.put_chunk(chunk_id=chunk_id, data=payload)
+        outcome = source.replicate_to([chunk_id, "sha1:missing"], target.address)
+        assert outcome["copied"] == [chunk_id]
+        assert outcome["missing"] == ["sha1:missing"]
+        assert target.has_chunk(chunk_id)
+        assert source.stats["replications_out"] == 1

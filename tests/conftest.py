@@ -1,0 +1,48 @@
+"""Shared fixtures for the stdchk reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import StdchkConfig, StdchkPool
+from repro.util.clock import VirtualClock
+from repro.util.units import MiB
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def small_config() -> StdchkConfig:
+    """A configuration with small chunks so tests move little data."""
+    return StdchkConfig(
+        chunk_size=64 * 1024,
+        stripe_width=3,
+        replication_level=2,
+        window_buffer_size=256 * 1024,
+        incremental_file_size=128 * 1024,
+    )
+
+
+@pytest.fixture
+def pool(small_config: StdchkConfig) -> StdchkPool:
+    """A four-benefactor in-process pool with small chunks."""
+    return StdchkPool(
+        benefactor_count=4,
+        benefactor_capacity=64 * MiB,
+        config=small_config,
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+def make_bytes(size: int, seed: int = 0) -> bytes:
+    """Deterministic pseudo-random payload for tests."""
+    return random.Random(seed).randbytes(size)

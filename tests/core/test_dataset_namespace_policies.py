@@ -1,0 +1,228 @@
+"""Tests for dataset metadata, the namespace tree and retention policies."""
+
+import pytest
+
+from repro.core.chunk import ChunkRef
+from repro.core.chunk_map import ChunkMap, ChunkPlacement
+from repro.core.dataset import DatasetMetadata, DatasetVersion
+from repro.core.namespace import Namespace, normalize_path
+from repro.core.policies import (
+    AutomatedPurgePolicy,
+    AutomatedReplacePolicy,
+    NoInterventionPolicy,
+    make_retention_policy,
+)
+from repro.exceptions import (
+    FileExistsInStdchkError,
+    FileNotFoundInStdchkError,
+    IsADirectoryError_,
+    NotADirectoryError_,
+)
+from repro.util.config import RetentionConfig, RetentionPolicyKind
+
+
+def version(number, size=100, created_at=0.0, chunk_ids=None):
+    chunk_map = ChunkMap()
+    for index, chunk_id in enumerate(chunk_ids or [f"v{number}-c{index}" for index in range(2)]):
+        chunk_map.append(ChunkRef(chunk_id, index * size, size), benefactors=["b0"])
+    return DatasetVersion(version=number, chunk_map=chunk_map, size=size,
+                          created_at=created_at)
+
+
+class TestDatasetMetadata:
+    def test_allocate_version_is_monotonic(self):
+        dataset = DatasetMetadata("ds-1", "/a")
+        assert dataset.allocate_version() == 1
+        assert dataset.allocate_version() == 2
+
+    def test_commit_and_latest(self):
+        dataset = DatasetMetadata("ds-1", "/a")
+        dataset.commit_version(version(1, created_at=1.0))
+        dataset.commit_version(version(2, created_at=2.0))
+        assert dataset.latest.version == 2
+        assert dataset.version_numbers == [1, 2]
+        assert dataset.size == 100
+        assert dataset.total_stored_size == 200
+
+    def test_commit_duplicate_version_rejected(self):
+        dataset = DatasetMetadata("ds-1", "/a")
+        dataset.commit_version(version(1))
+        with pytest.raises(ValueError):
+            dataset.commit_version(version(1))
+
+    def test_get_version_specific_and_missing(self):
+        dataset = DatasetMetadata("ds-1", "/a")
+        dataset.commit_version(version(1))
+        assert dataset.get_version(1).version == 1
+        with pytest.raises(KeyError):
+            dataset.get_version(9)
+        empty = DatasetMetadata("ds-2", "/b")
+        with pytest.raises(KeyError):
+            empty.get_version()
+        assert empty.latest is None
+
+    def test_remove_version(self):
+        dataset = DatasetMetadata("ds-1", "/a")
+        dataset.commit_version(version(1))
+        removed = dataset.remove_version(1)
+        assert removed.version == 1
+        assert len(dataset) == 0
+
+    def test_live_chunk_ids_across_versions(self):
+        dataset = DatasetMetadata("ds-1", "/a")
+        dataset.commit_version(version(1, chunk_ids=["shared", "old"]))
+        dataset.commit_version(version(2, chunk_ids=["shared", "new"]))
+        assert dataset.live_chunk_ids() == {"shared", "old", "new"}
+
+
+class TestNamespace:
+    def test_normalize_path(self):
+        assert normalize_path("a/b") == "/a/b"
+        assert normalize_path("/a//b/../c") == "/a/c"
+
+    def test_make_and_list_folders(self):
+        ns = Namespace()
+        ns.make_folder("/app")
+        ns.make_folder("/app/run1")
+        assert ns.list_dir("/") == ["app"]
+        assert ns.list_dir("/app") == ["run1"]
+        assert ns.folder_exists("/app/run1")
+
+    def test_make_folder_conflicts(self):
+        ns = Namespace()
+        ns.make_folder("/app")
+        with pytest.raises(FileExistsInStdchkError):
+            ns.make_folder("/app")
+        ns.make_folder("/app", exist_ok=True)
+        ns.add_file("/file", "ds-1")
+        with pytest.raises(FileExistsInStdchkError):
+            ns.make_folder("/file")
+
+    def test_ensure_folder_creates_parents(self):
+        ns = Namespace()
+        ns.ensure_folder("/a/b/c")
+        assert ns.folder_exists("/a/b/c")
+
+    def test_file_lifecycle(self):
+        ns = Namespace()
+        ns.ensure_folder("/app")
+        ns.add_file("/app/ckpt.N0.T1", "ds-1")
+        assert ns.file_exists("/app/ckpt.N0.T1")
+        assert ns.get_file("/app/ckpt.N0.T1").dataset_id == "ds-1"
+        assert ns.exists("/app/ckpt.N0.T1")
+        removed = ns.remove_file("/app/ckpt.N0.T1")
+        assert removed.dataset_id == "ds-1"
+        assert not ns.file_exists("/app/ckpt.N0.T1")
+
+    def test_add_file_conflicts(self):
+        ns = Namespace()
+        ns.ensure_folder("/app")
+        ns.add_file("/app/x", "ds-1")
+        with pytest.raises(FileExistsInStdchkError):
+            ns.add_file("/app/x", "ds-2")
+        ns.add_file("/app/x", "ds-2", overwrite=True)
+        with pytest.raises(IsADirectoryError_):
+            ns.add_file("/app", "ds-3")
+
+    def test_missing_paths_raise(self):
+        ns = Namespace()
+        with pytest.raises(FileNotFoundInStdchkError):
+            ns.get_file("/nothing")
+        with pytest.raises(FileNotFoundInStdchkError):
+            ns.get_folder("/nothing")
+        with pytest.raises(FileNotFoundInStdchkError):
+            ns.remove_file("/nothing")
+
+    def test_file_component_used_as_directory(self):
+        ns = Namespace()
+        ns.add_file("/f", "ds-1")
+        with pytest.raises(NotADirectoryError_):
+            ns.get_folder("/f/sub")
+
+    def test_remove_folder_rules(self):
+        ns = Namespace()
+        ns.ensure_folder("/app")
+        ns.add_file("/app/x", "ds-1")
+        with pytest.raises(FileExistsInStdchkError):
+            ns.remove_folder("/app")
+        ns.remove_folder("/app", force=True)
+        assert not ns.folder_exists("/app")
+        with pytest.raises(IsADirectoryError_):
+            ns.remove_folder("/")
+
+    def test_rename_file(self):
+        ns = Namespace()
+        ns.ensure_folder("/a")
+        ns.ensure_folder("/b")
+        ns.add_file("/a/x", "ds-1")
+        ns.rename_file("/a/x", "/b/y")
+        assert ns.file_exists("/b/y")
+        assert not ns.file_exists("/a/x")
+
+    def test_retention_inheritance(self):
+        ns = Namespace()
+        ns.ensure_folder("/app/deep")
+        config = RetentionConfig(kind=RetentionPolicyKind.AUTOMATED_REPLACE)
+        ns.set_retention("/app", config)
+        assert ns.get_retention("/app/deep").kind is RetentionPolicyKind.AUTOMATED_REPLACE
+        assert ns.get_retention("/other") is None
+
+    def test_iter_files_and_count(self):
+        ns = Namespace()
+        ns.ensure_folder("/a/b")
+        ns.add_file("/a/x", "ds-1")
+        ns.add_file("/a/b/y", "ds-2")
+        paths = {path for path, _entry in ns.iter_files("/")}
+        assert paths == {"/a/x", "/a/b/y"}
+        assert ns.file_count() == 2
+        folders = {path for path, _f in ns.iter_folders("/")}
+        assert {"/", "/a", "/a/b"} <= folders
+
+
+class TestRetentionPolicies:
+    def build_dataset(self, count=5):
+        dataset = DatasetMetadata("ds-1", "/app/x")
+        for index in range(1, count + 1):
+            dataset.commit_version(version(index, created_at=float(index * 100)))
+        return dataset
+
+    def test_no_intervention_keeps_everything(self):
+        dataset = self.build_dataset()
+        assert NoInterventionPolicy().select_prunable(dataset, now=1e9) == []
+
+    def test_automated_replace_keeps_last_n(self):
+        dataset = self.build_dataset(5)
+        policy = AutomatedReplacePolicy(keep_last=2)
+        prunable = policy.select_prunable(dataset, now=0.0)
+        assert [v.version for v in prunable] == [1, 2, 3]
+
+    def test_automated_replace_noop_when_few_versions(self):
+        dataset = self.build_dataset(1)
+        assert AutomatedReplacePolicy(keep_last=2).select_prunable(dataset, 0.0) == []
+
+    def test_automated_replace_validation(self):
+        with pytest.raises(ValueError):
+            AutomatedReplacePolicy(keep_last=0)
+
+    def test_automated_purge_by_age_protects_latest(self):
+        dataset = self.build_dataset(3)  # created at 100, 200, 300
+        policy = AutomatedPurgePolicy(purge_after=150.0)
+        prunable = policy.select_prunable(dataset, now=400.0)
+        assert [v.version for v in prunable] == [1, 2]
+
+    def test_automated_purge_can_release_latest(self):
+        dataset = self.build_dataset(2)
+        policy = AutomatedPurgePolicy(purge_after=10.0, keep_latest=False)
+        prunable = policy.select_prunable(dataset, now=1000.0)
+        assert [v.version for v in prunable] == [1, 2]
+
+    def test_automated_purge_validation(self):
+        with pytest.raises(ValueError):
+            AutomatedPurgePolicy(purge_after=0)
+
+    def test_factory_builds_each_kind(self):
+        for kind in RetentionPolicyKind:
+            config = RetentionConfig(kind=kind)
+            policy = make_retention_policy(config)
+            assert policy.kind is kind
+            assert isinstance(policy.describe(), str)

@@ -1,0 +1,174 @@
+"""Tests for striping policies, space reservations and replication bookkeeping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chunk_map import ShadowChunkMap
+from repro.core.replication import ReplicationState, ReplicationTask, ReplicationTaskState
+from repro.core.reservation import Reservation, ReservationTable
+from repro.core.striping import (
+    BenefactorView,
+    FreeSpaceStriping,
+    RandomStriping,
+    RoundRobinStriping,
+    StripeAllocation,
+)
+from repro.exceptions import NoBenefactorsAvailableError, ReservationError
+
+
+def views(count=6, free=1000, online=True):
+    return [
+        BenefactorView(benefactor_id=f"b{i:02d}", free_space=free, online=online)
+        for i in range(count)
+    ]
+
+
+class TestStripeAllocation:
+    def test_round_robin_target_assignment(self):
+        allocation = StripeAllocation(benefactors=["a", "b", "c"])
+        assert [allocation.target_for(i) for i in range(6)] == ["a", "b", "c"] * 2
+
+    def test_empty_allocation_raises(self):
+        with pytest.raises(NoBenefactorsAvailableError):
+            StripeAllocation(benefactors=[]).target_for(0)
+
+
+class TestRoundRobinStriping:
+    def test_selects_requested_width(self):
+        policy = RoundRobinStriping()
+        allocation = policy.select(views(6), stripe_width=4)
+        assert allocation.width == 4
+        assert len(set(allocation.benefactors)) == 4
+
+    def test_successive_allocations_rotate(self):
+        policy = RoundRobinStriping()
+        first = policy.select(views(6), 3).benefactors
+        second = policy.select(views(6), 3).benefactors
+        assert first != second
+        # Over two rounds the whole pool is touched.
+        assert set(first) | set(second) == {f"b{i:02d}" for i in range(6)}
+
+    def test_width_capped_by_pool_size(self):
+        allocation = RoundRobinStriping().select(views(2), stripe_width=8)
+        assert allocation.width == 2
+
+    def test_exclusion(self):
+        policy = RoundRobinStriping()
+        allocation = policy.select(views(4), 4, exclude={"b00", "b01"})
+        assert set(allocation.benefactors) == {"b02", "b03"}
+
+    def test_offline_nodes_skipped(self):
+        candidates = views(3) + views(3, online=False)
+        allocation = RoundRobinStriping().select(candidates, 6)
+        assert allocation.width == 3
+
+    def test_space_filter(self):
+        candidates = [
+            BenefactorView("big", free_space=10_000),
+            BenefactorView("small", free_space=10),
+        ]
+        allocation = RoundRobinStriping().select(candidates, 1, required_space=5_000)
+        assert allocation.benefactors == ["big"]
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(NoBenefactorsAvailableError):
+            RoundRobinStriping().select([], 2)
+        with pytest.raises(NoBenefactorsAvailableError):
+            RoundRobinStriping().select(views(3, online=False), 2)
+
+    @given(count=st.integers(min_value=1, max_value=12),
+           width=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_allocation_never_duplicates(self, count, width):
+        allocation = RoundRobinStriping().select(views(count), width)
+        assert len(set(allocation.benefactors)) == len(allocation.benefactors)
+        assert allocation.width == min(count, width)
+
+
+class TestOtherStripingPolicies:
+    def test_free_space_prefers_emptier_nodes(self):
+        candidates = [
+            BenefactorView("full", free_space=10),
+            BenefactorView("half", free_space=500),
+            BenefactorView("empty", free_space=1000),
+        ]
+        allocation = FreeSpaceStriping().select(candidates, 2)
+        assert allocation.benefactors == ["empty", "half"]
+
+    def test_random_striping_is_seedable(self):
+        first = RandomStriping(seed=1).select(views(8), 4).benefactors
+        second = RandomStriping(seed=1).select(views(8), 4).benefactors
+        assert first == second
+
+
+class TestReservations:
+    def test_reserve_consume_release(self):
+        table = ReservationTable(default_lease=100.0)
+        reservation = table.reserve("client", "ds-1", 1000, ["b0", "b1"], now=0.0)
+        assert reservation.remaining == 1000
+        table.consume(reservation.reservation_id, 400)
+        assert table.get(reservation.reservation_id).remaining == 600
+        table.release(reservation.reservation_id)
+        with pytest.raises(ReservationError):
+            table.consume(reservation.reservation_id, 1)
+
+    def test_negative_amounts_rejected(self):
+        table = ReservationTable()
+        with pytest.raises(ReservationError):
+            table.reserve("client", "ds", -5, [], now=0.0)
+        reservation = table.reserve("client", "ds", 10, [], now=0.0)
+        with pytest.raises(ReservationError):
+            reservation.consume(-1)
+
+    def test_unknown_reservation(self):
+        with pytest.raises(ReservationError):
+            ReservationTable().get("rsv-404")
+
+    def test_expiry_and_cleanup(self):
+        table = ReservationTable(default_lease=50.0)
+        table.reserve("client", "ds", 100, ["b0"], now=0.0)
+        keep = table.reserve("client", "ds", 100, ["b0"], now=40.0)
+        expired = table.collect_expired(now=60.0)
+        assert len(expired) == 1
+        assert table.outstanding() == [keep]
+        assert table.drop_released() == 1
+        assert len(table) == 1
+
+    def test_reserved_on_benefactor(self):
+        table = ReservationTable()
+        table.reserve("client", "ds", 1000, ["b0", "b1"], now=0.0)
+        assert table.reserved_on("b0") == 500
+        assert table.reserved_on("b9") == 0
+
+
+class TestReplicationBookkeeping:
+    def test_task_lifecycle(self):
+        task = ReplicationTask("c0", "b0", "b1", "ds", 1)
+        assert not task.finished
+        task.mark_in_flight()
+        assert task.state is ReplicationTaskState.IN_FLIGHT
+        assert task.attempts == 1
+        task.mark_done()
+        assert task.finished
+
+    def test_task_failure_records_error(self):
+        task = ReplicationTask("c0", "b0", "b1", "ds", 1)
+        task.mark_failed("unreachable")
+        assert task.finished
+        assert task.last_error == "unreachable"
+
+    def test_state_summary_and_complete(self):
+        state = ReplicationState("ds", 1, target_level=2)
+        assert not state.complete
+        done = ReplicationTask("c0", "b0", "b1", "ds", 1)
+        done.mark_done()
+        state.tasks.append(done)
+        assert state.complete
+        failed = ReplicationTask("c1", "b0", "b1", "ds", 1)
+        failed.mark_failed("x")
+        state.tasks.append(failed)
+        assert not state.complete
+        summary = state.summary()
+        assert summary["done"] == 1
+        assert summary["failed"] == 1
+        assert state.shadow is None or isinstance(state.shadow, ShadowChunkMap)

@@ -1,0 +1,255 @@
+"""Tests for the metadata manager: registration, sessions, commits, GC answers."""
+
+import pytest
+
+from repro.core.chunk import ChunkRef
+from repro.core.chunk_map import ChunkMap
+from repro.exceptions import (
+    CommitConflictError,
+    FileNotFoundInStdchkError,
+    ManagerUnavailableError,
+    NoBenefactorsAvailableError,
+    UnknownBenefactorError,
+    UnknownDatasetError,
+)
+from repro.manager.manager import MetadataManager
+from repro.manager.registry import BenefactorRegistry
+from repro.transport.inprocess import InProcessTransport
+from repro.util.clock import VirtualClock
+from repro.util.config import StdchkConfig
+
+
+@pytest.fixture
+def manager_setup():
+    transport = InProcessTransport()
+    clock = VirtualClock()
+    config = StdchkConfig(chunk_size=1024, stripe_width=2, replication_level=2)
+    manager = MetadataManager(transport=transport, config=config, clock=clock)
+    for index in range(4):
+        manager.register_benefactor(
+            benefactor_id=f"b{index}",
+            address=f"benefactor://b{index}",
+            free_space=1 << 20,
+        )
+    return transport, clock, manager
+
+
+def committed_map(chunk_ids, benefactor="b0", size=1024):
+    chunk_map = ChunkMap()
+    for index, chunk_id in enumerate(chunk_ids):
+        chunk_map.append(ChunkRef(chunk_id, index * size, size), benefactors=[benefactor])
+    return chunk_map
+
+
+class TestRegistry:
+    def test_register_and_heartbeat(self):
+        registry = BenefactorRegistry(heartbeat_timeout=10.0)
+        registry.register("b0", "addr", 100, 0, 0, now=0.0)
+        registry.heartbeat("b0", 90, 10, 1, now=5.0)
+        record = registry.get("b0")
+        assert record.free_space == 90
+        assert record.heartbeats == 2
+        assert registry.is_online("b0")
+
+    def test_heartbeat_unknown_benefactor(self):
+        with pytest.raises(UnknownBenefactorError):
+            BenefactorRegistry().heartbeat("ghost", 1, 0, 0, now=0.0)
+
+    def test_expiry_marks_offline(self):
+        registry = BenefactorRegistry(heartbeat_timeout=10.0)
+        registry.register("b0", "addr", 100, 0, 0, now=0.0)
+        registry.register("b1", "addr", 100, 0, 0, now=5.0)
+        expired = registry.expire(now=11.0)
+        assert expired == ["b0"]
+        assert not registry.is_online("b0")
+        assert registry.is_online("b1")
+        # A new registration brings the node back.
+        registry.register("b0", "addr", 100, 0, 0, now=12.0)
+        assert registry.is_online("b0")
+
+    def test_totals(self):
+        registry = BenefactorRegistry()
+        registry.register("b0", "a", 100, 50, 0, now=0.0)
+        registry.register("b1", "a", 200, 0, 0, now=0.0)
+        assert registry.total_free_space() == 300
+        assert registry.total_contributed_space() == 350
+        assert len(registry) == 2
+        assert "b0" in registry
+
+
+class TestSessionsAndCommits:
+    def test_create_session_allocates_stripe(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f.N0.T1", "client-1", expected_size=4096)
+        assert len(info["stripe"]) == 2
+        assert info["version"] == 1
+        assert info["chunk_size"] == 1024
+        assert manager.active_sessions()
+
+    def test_commit_creates_version_and_namespace_entry(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f.N0.T1", "client-1")
+        chunk_map = committed_map(["c0", "c1"])
+        result = manager.commit_session(
+            info["session_id"], chunk_map.to_dict(), size=2048, producer="N0", timestep=1
+        )
+        assert result["committed"] and result["version"] == 1
+        stat = manager.stat("/app/f.N0.T1")
+        assert stat["type"] == "file"
+        assert stat["size"] == 2048
+        assert manager.list_dir("/app") == ["f.N0.T1"]
+        assert not manager.active_sessions()
+
+    def test_double_commit_rejected(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f", "client-1")
+        manager.commit_session(info["session_id"], committed_map(["c0"]).to_dict(), 1024)
+        with pytest.raises(CommitConflictError):
+            manager.commit_session(info["session_id"], committed_map(["c0"]).to_dict(), 1024)
+
+    def test_commit_after_abort_rejected(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f", "client-1")
+        manager.abort_session(info["session_id"])
+        with pytest.raises(CommitConflictError):
+            manager.commit_session(info["session_id"], committed_map(["c0"]).to_dict(), 1024)
+
+    def test_versioning_same_path(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        first = manager.create_session("/app/f", "client-1")
+        manager.commit_session(first["session_id"], committed_map(["c0"]).to_dict(), 1024)
+        second = manager.create_session("/app/f", "client-1")
+        assert second["dataset_id"] == first["dataset_id"]
+        assert second["version"] == 2
+        manager.commit_session(second["session_id"], committed_map(["c1"]).to_dict(), 1024)
+        versions = manager.get_versions("/app/f")
+        assert [v["version"] for v in versions] == [1, 2]
+
+    def test_get_chunk_map_latest_and_specific(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f", "client-1")
+        manager.commit_session(info["session_id"], committed_map(["c0"]).to_dict(), 1024)
+        info2 = manager.create_session("/app/f", "client-1")
+        manager.commit_session(info2["session_id"], committed_map(["c1"]).to_dict(), 1024)
+        latest = manager.get_chunk_map("/app/f")
+        assert latest["version"] == 2
+        first = manager.get_chunk_map("/app/f", version=1)
+        assert first["chunk_map"]["placements"][0]["chunk_id"] == "c0"
+        assert "b0" in latest["addresses"]
+
+    def test_get_existing_chunks_for_incremental(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        assert manager.get_existing_chunks("/app/new") == {"chunks": {}}
+        info = manager.create_session("/app/f", "client-1")
+        manager.commit_session(
+            info["session_id"], committed_map(["sha1:aa", "sha1:bb"]).to_dict(), 2048
+        )
+        existing = manager.get_existing_chunks("/app/f")["chunks"]
+        assert set(existing) == {"sha1:aa", "sha1:bb"}
+        assert existing["sha1:aa"] == ["b0"]
+
+    def test_unknown_session_and_dataset(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        with pytest.raises(UnknownDatasetError):
+            manager.commit_session("session-404", {}, 0)
+        with pytest.raises(FileNotFoundInStdchkError):
+            manager.get_chunk_map("/does/not/exist")
+
+    def test_no_benefactors_available(self):
+        transport = InProcessTransport()
+        manager = MetadataManager(transport=transport)
+        with pytest.raises(NoBenefactorsAvailableError):
+            manager.create_session("/x", "client")
+
+    def test_extend_stripe(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f", "client-1")
+        manager.report_benefactor_failure(info["stripe"][0]["benefactor_id"])
+        refreshed = manager.extend_stripe(info["session_id"])
+        ids = {entry["benefactor_id"] for entry in refreshed["stripe"]}
+        assert info["stripe"][0]["benefactor_id"] not in ids
+
+
+class TestNamespaceOperations:
+    def test_mkdir_with_retention_and_stat(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        manager.make_folder("/app", retention_kind="automated-purge", purge_after=60.0)
+        stat = manager.stat("/app")
+        assert stat["type"] == "directory"
+        retention = manager.namespace.get_retention("/app")
+        assert retention.purge_after == 60.0
+
+    def test_delete_file_orphans_chunks(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f", "client-1")
+        manager.commit_session(info["session_id"], committed_map(["c0"]).to_dict(), 1024)
+        assert manager.live_chunk_ids() == {"c0"}
+        outcome = manager.delete("/app/f")
+        assert outcome["deleted"] and outcome["versions_removed"] == 1
+        assert manager.live_chunk_ids() == set()
+        assert not manager.exists("/app/f")
+
+    def test_remove_folder_force(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f", "client-1")
+        manager.commit_session(info["session_id"], committed_map(["c0"]).to_dict(), 1024)
+        outcome = manager.remove_folder("/app", force=True)
+        assert outcome["files_removed"] == 1
+        assert not manager.exists("/app")
+
+    def test_storage_summary(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f", "client-1")
+        manager.commit_session(info["session_id"], committed_map(["c0"]).to_dict(), 1024)
+        summary = manager.storage_summary()
+        assert summary["datasets"] == 1
+        assert summary["versions"] == 1
+        assert summary["unique_chunks"] == 1
+        assert summary["benefactors_online"] == 4
+
+
+class TestGcAndFailure:
+    def test_gc_report_seen_twice_rule(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f", "client-1")
+        manager.commit_session(info["session_id"], committed_map(["live"]).to_dict(), 1024)
+        first = manager.gc_report("b0", ["live", "orphan"])
+        assert first["collectible"] == []  # orphan seen only once
+        second = manager.gc_report("b0", ["live", "orphan"])
+        assert second["collectible"] == ["orphan"]
+        third = manager.gc_report("b0", ["live"])
+        assert third["collectible"] == []
+
+    def test_manager_failure_blocks_calls(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        manager.fail()
+        with pytest.raises(ManagerUnavailableError):
+            manager.create_session("/x", "client")
+        with pytest.raises(ManagerUnavailableError):
+            manager.stat("/")
+        manager.recover()
+        manager.stat("/")
+
+    def test_expire_benefactors_via_clock(self, manager_setup):
+        _transport, clock, manager = manager_setup
+        clock.advance(manager.config.heartbeat_timeout + 1)
+        expired = manager.expire_benefactors()
+        assert len(expired) == 4
+        manager.heartbeat("b0", free_space=100)
+        assert manager.registry.is_online("b0")
+
+    def test_drop_benefactor_placements(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        info = manager.create_session("/app/f", "client-1")
+        manager.commit_session(info["session_id"], committed_map(["c0"], benefactor="b1").to_dict(), 1024)
+        affected = manager.drop_benefactor_placements("b1")
+        assert affected == 1
+        latest = manager.get_chunk_map("/app/f")
+        assert latest["chunk_map"]["placements"][0]["benefactors"] == []
+
+    def test_transactions_counted(self, manager_setup):
+        _transport, _clock, manager = manager_setup
+        before = manager.transactions
+        manager.stat("/")
+        manager.list_dir("/")
+        assert manager.transactions == before + 2

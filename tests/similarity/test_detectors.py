@@ -1,0 +1,215 @@
+"""Tests for FsCH, CbCH and trace-level similarity statistics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.similarity import (
+    ContentBasedCompareByHash,
+    FixedSizeCompareByHash,
+    compare_images,
+    trace_similarity,
+)
+from repro.similarity.base import DetectionResult
+from repro.util.units import KiB
+
+
+def random_bytes(size, seed=0):
+    return random.Random(seed).randbytes(size)
+
+
+class TestFsCH:
+    def test_blocks_cover_image_exactly(self):
+        detector = FixedSizeCompareByHash(block_size=1024)
+        image = random_bytes(10 * 1024 + 100)
+        result = detector.chunk_image(image)
+        assert result.chunk_count == 11
+        assert sum(c.length for c in result.chunks) == len(image)
+        assert result.chunks[-1].length == 100
+
+    def test_identical_images_fully_similar(self):
+        detector = FixedSizeCompareByHash(block_size=512)
+        image = random_bytes(8 * 1024)
+        report = compare_images(detector, image, image)
+        assert report.similarity_ratio == pytest.approx(1.0)
+        assert report.new_bytes == 0
+
+    def test_disjoint_images_have_no_similarity(self):
+        detector = FixedSizeCompareByHash(block_size=512)
+        report = compare_images(detector, random_bytes(4096, 1), random_bytes(4096, 2))
+        assert report.similarity_ratio == 0.0
+
+    def test_in_place_change_preserves_other_blocks(self):
+        detector = FixedSizeCompareByHash(block_size=1024)
+        image = bytearray(random_bytes(8 * 1024))
+        modified = bytearray(image)
+        modified[2048:2100] = random_bytes(52, 99)
+        report = compare_images(detector, bytes(image), bytes(modified))
+        # Exactly one of the eight blocks changed.
+        assert report.duplicate_chunks == 7
+
+    def test_single_byte_insertion_destroys_similarity(self):
+        """The paper's stated FsCH weakness: insertions shift every block."""
+        detector = FixedSizeCompareByHash(block_size=1024)
+        image = random_bytes(16 * 1024)
+        shifted = b"\x00" + image[:-1]
+        report = compare_images(detector, image, shifted)
+        assert report.similarity_ratio < 0.10
+
+    def test_first_image_has_no_predecessor(self):
+        detector = FixedSizeCompareByHash(block_size=1024)
+        report = detector.compare(None, detector.chunk_image(random_bytes(2048)))
+        assert report.similarity_ratio == 0.0
+        assert report.new_bytes == 2048
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            FixedSizeCompareByHash(block_size=0)
+
+    def test_name_includes_block_size(self):
+        assert FixedSizeCompareByHash(256 * KiB).name == "FsCH-256KB"
+        assert FixedSizeCompareByHash(1024 * KiB).name == "FsCH-1MB"
+
+    def test_empty_image(self):
+        result = FixedSizeCompareByHash(1024).chunk_image(b"")
+        assert result.chunk_count == 0
+        assert result.image_size == 0
+
+    @given(data=st.binary(min_size=0, max_size=8192),
+           block=st.integers(min_value=1, max_value=1024))
+    @settings(max_examples=50, deadline=None)
+    def test_chunk_cover_property(self, data, block):
+        result = FixedSizeCompareByHash(block).chunk_image(data)
+        assert sum(c.length for c in result.chunks) == len(data)
+        # every chunk except possibly the last is exactly block bytes
+        for chunk in result.chunks[:-1]:
+            assert chunk.length == block
+
+
+class TestCbCH:
+    def test_chunks_cover_image_exactly(self):
+        detector = ContentBasedCompareByHash(window_size=16, boundary_bits=6)
+        image = random_bytes(64 * 1024)
+        result = detector.chunk_image(image)
+        assert sum(c.length for c in result.chunks) == len(image)
+        offsets = [c.offset for c in result.chunks]
+        assert offsets == sorted(offsets)
+
+    def test_overlap_and_no_overlap_cover_image(self):
+        image = random_bytes(32 * 1024)
+        for overlap in (True, False):
+            detector = ContentBasedCompareByHash(16, 8, overlap=overlap)
+            result = detector.chunk_image(image)
+            assert sum(c.length for c in result.chunks) == len(image)
+
+    def test_boundary_bits_control_chunk_size(self):
+        image = random_bytes(256 * 1024)
+        small = ContentBasedCompareByHash(16, 6, overlap=True).chunk_image(image)
+        large = ContentBasedCompareByHash(16, 10, overlap=True).chunk_image(image)
+        assert small.average_chunk_size < large.average_chunk_size
+
+    def test_insertion_resilience_overlap(self):
+        """CbCH's raison d'etre: one insertion damages only local chunks."""
+        detector = ContentBasedCompareByHash(window_size=16, boundary_bits=8, overlap=True)
+        image = random_bytes(128 * 1024)
+        shifted = image[:1000] + b"INSERTED" + image[1000:]
+        report = compare_images(detector, image, shifted)
+        assert report.similarity_ratio > 0.80
+
+    def test_identical_images_fully_similar(self):
+        detector = ContentBasedCompareByHash(16, 8, overlap=False)
+        image = random_bytes(64 * 1024)
+        report = compare_images(detector, image, image)
+        assert report.similarity_ratio == pytest.approx(1.0)
+
+    def test_min_chunk_suppresses_tiny_chunks(self):
+        image = random_bytes(64 * 1024)
+        detector = ContentBasedCompareByHash(16, 5, overlap=True, min_chunk=2048)
+        result = detector.chunk_image(image)
+        assert all(c.length >= 2048 for c in result.chunks[:-1])
+
+    def test_max_chunk_bounds_chunk_size(self):
+        image = random_bytes(64 * 1024)
+        detector = ContentBasedCompareByHash(16, 20, overlap=True, max_chunk=4096)
+        result = detector.chunk_image(image)
+        assert all(c.length <= 4096 for c in result.chunks)
+
+    def test_vectorized_no_overlap_matches_pure_python(self):
+        import repro.similarity.cbch as cbch_module
+        image = random_bytes(32 * 1024, seed=5)
+        detector = ContentBasedCompareByHash(20, 10, overlap=False)
+        fast = detector.chunk_image(image)
+        saved = cbch_module._np
+        cbch_module._np = None
+        try:
+            slow = detector.chunk_image(image)
+        finally:
+            cbch_module._np = saved
+        assert [c.offset for c in fast.chunks] == [c.offset for c in slow.chunks]
+        assert [c.chunk_id for c in fast.chunks] == [c.chunk_id for c in slow.chunks]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ContentBasedCompareByHash(0, 8)
+        with pytest.raises(ValueError):
+            ContentBasedCompareByHash(16, 0)
+        with pytest.raises(ValueError):
+            ContentBasedCompareByHash(16, 8, min_chunk=100, max_chunk=10)
+
+    def test_tiny_image(self):
+        detector = ContentBasedCompareByHash(window_size=64, boundary_bits=8, overlap=True)
+        result = detector.chunk_image(b"short")
+        assert result.chunk_count == 1
+        assert result.chunks[0].length == 5
+        assert detector.chunk_image(b"").chunk_count == 0
+
+    @given(data=st.binary(min_size=1, max_size=8192),
+           bits=st.integers(min_value=2, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_no_overlap_cover_property(self, data, bits):
+        detector = ContentBasedCompareByHash(8, bits, overlap=False)
+        result = detector.chunk_image(data)
+        assert sum(c.length for c in result.chunks) == len(data)
+        expected = 0
+        for chunk in result.chunks:
+            assert chunk.offset == expected
+            expected += chunk.length
+
+
+class TestTraceSimilarity:
+    def test_trace_similarity_excludes_first_image(self):
+        detector = FixedSizeCompareByHash(1024)
+        images = [random_bytes(8192, 1)] * 3
+        result = trace_similarity(detector, images)
+        assert result.average_similarity == pytest.approx(1.0)
+        assert len(result.reports) == 3
+
+    def test_data_reduction_accounts_all_bytes(self):
+        detector = FixedSizeCompareByHash(1024)
+        base = random_bytes(8192, 1)
+        result = trace_similarity(detector, [base, base, random_bytes(8192, 2)])
+        assert result.total_bytes == 3 * 8192
+        assert result.duplicate_bytes == 8192
+        assert 0.0 < result.data_reduction < 1.0
+
+    def test_summary_row_fields(self):
+        detector = FixedSizeCompareByHash(1024)
+        result = trace_similarity(detector, [random_bytes(4096, i) for i in range(3)])
+        row = result.summary_row()
+        assert set(row) == {"detector", "similarity_pct", "throughput_mbps",
+                            "avg_chunk_kb", "avg_min_chunk_kb", "avg_max_chunk_kb"}
+        assert row["detector"] == detector.name
+
+    def test_empty_trace(self):
+        detector = FixedSizeCompareByHash(1024)
+        result = trace_similarity(detector, [])
+        assert result.average_similarity == 0.0
+        assert result.total_bytes == 0
+
+    def test_detection_result_statistics(self):
+        result = FixedSizeCompareByHash(1000).chunk_image(random_bytes(2500))
+        assert result.min_chunk_size == 500
+        assert result.max_chunk_size == 1000
+        assert result.average_chunk_size == pytest.approx(2500 / 3)
+        assert result.throughput > 0

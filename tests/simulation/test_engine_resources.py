@@ -1,0 +1,224 @@
+"""Tests for the discrete-event engine and the flow/bandwidth model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SimulationError, SimulationTimeError
+from repro.simulation.engine import SimulationEngine, Timeout
+from repro.simulation.resources import BandwidthResource, FlowNetwork
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.call_at(5.0, lambda: order.append("b"))
+        engine.call_at(1.0, lambda: order.append("a"))
+        engine.call_after(7.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 7.0
+
+    def test_same_time_fifo(self):
+        engine = SimulationEngine()
+        order = []
+        engine.call_at(1.0, lambda: order.append(1))
+        engine.call_at(1.0, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.call_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationTimeError):
+            engine.call_at(1.0, lambda: None)
+
+    def test_run_until_limit(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.call_at(10.0, lambda: fired.append(True))
+        engine.run(until=5.0)
+        assert not fired
+        assert engine.now == 5.0
+        engine.run()
+        assert fired
+
+    def test_timeout_validation(self):
+        with pytest.raises(SimulationTimeError):
+            Timeout(-1)
+
+    def test_process_with_timeouts(self):
+        engine = SimulationEngine()
+        trace = []
+
+        def proc():
+            trace.append(engine.now)
+            yield engine.timeout(2.0)
+            trace.append(engine.now)
+            yield engine.timeout(3.0)
+            trace.append(engine.now)
+            return "done"
+
+        process = engine.process(proc(), name="p")
+        engine.run()
+        assert trace == [0.0, 2.0, 5.0]
+        assert process.finished and process.result == "done"
+
+    def test_process_waits_for_event(self):
+        engine = SimulationEngine()
+        event = engine.event("signal")
+        seen = []
+
+        def waiter():
+            value = yield event
+            seen.append((engine.now, value))
+
+        engine.process(waiter(), name="waiter")
+        engine.call_at(4.0, lambda: event.succeed("payload"))
+        engine.run()
+        assert seen == [(4.0, "payload")]
+
+    def test_process_waits_for_process(self):
+        engine = SimulationEngine()
+        log = []
+
+        def child():
+            yield engine.timeout(3.0)
+            return 42
+
+        def parent():
+            result = yield engine.process(child(), name="child")
+            log.append((engine.now, result))
+
+        engine.process(parent(), name="parent")
+        engine.run()
+        assert log == [(3.0, 42)]
+
+    def test_event_double_trigger_rejected(self):
+        engine = SimulationEngine()
+        event = engine.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_waiting_on_triggered_event_resumes_immediately(self):
+        engine = SimulationEngine()
+        event = engine.event()
+        event.succeed("early")
+        results = []
+
+        def proc():
+            value = yield event
+            results.append(value)
+
+        engine.process(proc())
+        engine.run()
+        assert results == ["early"]
+
+    def test_run_until_process_detects_deadlock(self):
+        engine = SimulationEngine()
+
+        def stuck():
+            yield engine.event("never")
+
+        process = engine.process(stuck(), name="stuck")
+        with pytest.raises(SimulationError):
+            engine.run_until_process(process)
+
+    def test_yielding_garbage_raises(self):
+        engine = SimulationEngine()
+
+        def bad():
+            yield "not an event"
+
+        engine.process(bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestFlowNetwork:
+    def test_single_flow_duration(self):
+        engine = SimulationEngine()
+        network = FlowNetwork(engine)
+        link = BandwidthResource("link", capacity=100.0)
+        network.start_flow([link], size=500.0, label="t")
+        engine.run()
+        assert engine.now == pytest.approx(5.0)
+        assert link.bytes_transferred == pytest.approx(500.0)
+
+    def test_two_flows_share_fairly(self):
+        engine = SimulationEngine()
+        network = FlowNetwork(engine)
+        link = BandwidthResource("link", capacity=100.0)
+        network.start_flow([link], 500.0, label="a")
+        network.start_flow([link], 500.0, label="b")
+        engine.run()
+        # Both complete together after sharing the link: 1000 bytes at 100 B/s.
+        assert engine.now == pytest.approx(10.0)
+
+    def test_flow_rate_limited_by_bottleneck(self):
+        engine = SimulationEngine()
+        network = FlowNetwork(engine)
+        fast = BandwidthResource("fast", 1000.0)
+        slow = BandwidthResource("slow", 10.0)
+        network.start_flow([fast, slow], 100.0)
+        engine.run()
+        assert engine.now == pytest.approx(10.0)
+
+    def test_late_arrival_slows_existing_flow(self):
+        engine = SimulationEngine()
+        network = FlowNetwork(engine)
+        link = BandwidthResource("link", 100.0)
+        network.start_flow([link], 1000.0, label="first")
+
+        def late():
+            yield engine.timeout(5.0)
+            yield network.start_flow([link], 250.0, label="second")
+
+        engine.process(late())
+        engine.run()
+        # First flow: 500 bytes in 5 s alone, then shares; second finishes at
+        # t=10 (250 bytes at 50 B/s), first finishes its remaining 250 at t=12.5.
+        assert engine.now == pytest.approx(12.5)
+
+    def test_completion_event_carries_flow(self):
+        engine = SimulationEngine()
+        network = FlowNetwork(engine)
+        link = BandwidthResource("link", 50.0)
+        seen = []
+
+        def proc():
+            flow = yield network.start_flow([link], 100.0, label="x")
+            seen.append((engine.now, flow.label))
+
+        engine.process(proc())
+        engine.run()
+        assert seen == [(2.0, "x")]
+        assert network.completed_flows[0].finished_at == pytest.approx(2.0)
+
+    def test_invalid_flow_parameters(self):
+        engine = SimulationEngine()
+        network = FlowNetwork(engine)
+        link = BandwidthResource("link", 10.0)
+        with pytest.raises(ValueError):
+            network.start_flow([link], 0.0)
+        with pytest.raises(ValueError):
+            network.start_flow([], 10.0)
+        with pytest.raises(ValueError):
+            BandwidthResource("bad", 0.0)
+
+    @given(sizes=st.lists(st.floats(min_value=1.0, max_value=1000.0),
+                          min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_work_conservation_property(self, sizes):
+        """Total completion time of concurrent flows equals total work / capacity."""
+        engine = SimulationEngine()
+        network = FlowNetwork(engine)
+        link = BandwidthResource("link", capacity=100.0)
+        for index, size in enumerate(sizes):
+            network.start_flow([link], size, label=f"f{index}")
+        engine.run()
+        assert engine.now <= sum(sizes) / 100.0 + 1e-6
+        assert engine.now >= max(sizes) / 100.0 - 1e-6
+        assert len(network.completed_flows) == len(sizes)

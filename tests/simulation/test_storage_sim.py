@@ -1,0 +1,153 @@
+"""Tests for the simulated stdchk writes (the substrate behind Figures 2-8)."""
+
+import pytest
+
+from repro.simulation import (
+    ChurnModel,
+    lan_testbed,
+    simulate_scalability_run,
+    simulate_write,
+    ten_gig_testbed,
+)
+from repro.simulation.cluster import PAPER_LAN_TESTBED
+from repro.util.config import WriteProtocol
+from repro.util.units import MB, MiB
+
+
+FILE = 256 * MiB  # large enough for stable rates, small enough to stay fast
+
+
+def lan_write(protocol, stripe, **kwargs):
+    cluster = lan_testbed(benefactor_count=max(stripe, 8))
+    return simulate_write(cluster, protocol, FILE, stripe, **kwargs)
+
+
+class TestSimulatedWriteShapes:
+    def test_oab_and_asb_positive_and_ordered(self):
+        result = lan_write(WriteProtocol.SLIDING_WINDOW, 4)
+        assert result.asb_mbps > 0
+        assert result.oab_mbps >= result.asb_mbps
+
+    def test_sliding_window_saturates_gige_with_two_benefactors(self):
+        """Paper: two GigE benefactors saturate a GigE client (ASB ~110 MB/s)."""
+        two = lan_write(WriteProtocol.SLIDING_WINDOW, 2)
+        eight = lan_write(WriteProtocol.SLIDING_WINDOW, 8)
+        assert two.asb_mbps == pytest.approx(110, rel=0.1)
+        assert eight.asb_mbps == pytest.approx(two.asb_mbps, rel=0.05)
+
+    def test_single_benefactor_is_disk_bound(self):
+        result = lan_write(WriteProtocol.SLIDING_WINDOW, 1)
+        assert result.asb_mbps == pytest.approx(65, rel=0.1)
+
+    def test_protocol_ordering_matches_figure3(self):
+        """ASB: sliding window > incremental > complete local write."""
+        sw = lan_write(WriteProtocol.SLIDING_WINDOW, 4)
+        iw = lan_write(WriteProtocol.INCREMENTAL, 4)
+        clw = lan_write(WriteProtocol.COMPLETE_LOCAL, 4)
+        assert sw.asb_mbps > iw.asb_mbps > clw.asb_mbps
+
+    def test_clw_oab_matches_fuse_local_rate(self):
+        result = lan_write(WriteProtocol.COMPLETE_LOCAL, 4)
+        expected = PAPER_LAN_TESTBED.fuse_local_bandwidth / MB
+        assert result.oab_mbps == pytest.approx(expected, rel=0.05)
+
+    def test_clw_asb_roughly_half_local_rate(self):
+        """CLW serializes the local write and the network push."""
+        result = lan_write(WriteProtocol.COMPLETE_LOCAL, 4)
+        assert result.asb_mbps < 0.6 * result.oab_mbps
+
+    def test_sw_oab_grows_with_buffer_size(self):
+        small = lan_write(WriteProtocol.SLIDING_WINDOW, 4, buffer_size=32 * MiB)
+        large = lan_write(WriteProtocol.SLIDING_WINDOW, 4, buffer_size=128 * MiB)
+        assert large.oab_mbps > small.oab_mbps
+        assert large.asb_mbps == pytest.approx(small.asb_mbps, rel=0.05)
+
+    def test_dedup_reduces_network_effort(self):
+        plain = lan_write(WriteProtocol.SLIDING_WINDOW, 4)
+        dedup = lan_write(WriteProtocol.SLIDING_WINDOW, 4, dedup_ratio=0.24,
+                          hash_bandwidth=110 * MB)
+        assert dedup.bytes_pushed == pytest.approx(0.76 * plain.bytes_pushed, rel=0.05)
+        assert dedup.network_savings == pytest.approx(0.24, abs=0.02)
+        assert dedup.oab_mbps <= plain.oab_mbps
+
+    def test_ten_gig_testbed_aggregates_benefactors(self):
+        """Paper Figure 6: OAB/ASB grow with stripe width on the 10 GbE client."""
+        results = []
+        for stripe in (1, 2, 4):
+            cluster = ten_gig_testbed(4)
+            results.append(
+                simulate_write(cluster, WriteProtocol.SLIDING_WINDOW, FILE, stripe,
+                               buffer_size=128 * MiB)
+            )
+        assert results[0].asb_mbps < results[1].asb_mbps < results[2].asb_mbps
+        assert results[2].asb_mbps == pytest.approx(240, rel=0.1)
+
+    def test_validation_errors(self):
+        cluster = lan_testbed(2)
+        with pytest.raises(ValueError):
+            simulate_write(cluster, WriteProtocol.SLIDING_WINDOW, 0, 1)
+        with pytest.raises(ValueError):
+            simulate_write(cluster, WriteProtocol.SLIDING_WINDOW, FILE, 5)
+        with pytest.raises(ValueError):
+            simulate_write(cluster, WriteProtocol.SLIDING_WINDOW, FILE, 1, dedup_ratio=1.5)
+
+    def test_chunk_accounting(self):
+        result = lan_write(WriteProtocol.SLIDING_WINDOW, 4, dedup_ratio=0.5)
+        assert result.chunks_total == FILE // MiB
+        assert result.chunks_deduplicated == pytest.approx(result.chunks_total / 2, rel=0.05)
+
+
+class TestScalabilityRun:
+    def test_multiple_clients_share_the_fabric(self):
+        cluster = lan_testbed(benefactor_count=8, client_count=3,
+                              fabric_bandwidth=150 * MB)
+        outcome = simulate_scalability_run(
+            cluster, client_count=3, files_per_client=4, file_size=64 * MiB,
+            stripe_width=2, client_start_interval=5.0, sample_interval=2.0,
+        )
+        assert len(outcome.per_write) == 12
+        assert outcome.total_bytes == 12 * 64 * MiB
+        assert outcome.peak_throughput <= 150 * MB * 1.05
+        assert outcome.sustained_throughput > 0
+        assert outcome.duration > 0
+        assert outcome.timeline
+
+    def test_staggered_starts_visible_in_timeline(self):
+        cluster = lan_testbed(benefactor_count=6, client_count=2,
+                              fabric_bandwidth=100 * MB)
+        outcome = simulate_scalability_run(
+            cluster, client_count=2, files_per_client=3, file_size=32 * MiB,
+            stripe_width=2, client_start_interval=10.0, sample_interval=1.0,
+        )
+        # Activity starts with the first client and persists past the point
+        # where the second (staggered) client joins.
+        active_times = [time for time, rate in outcome.timeline if rate > 0]
+        assert min(active_times) < 10.0
+        assert max(active_times) > 10.0
+
+
+class TestChurnModel:
+    def test_trace_generation_and_availability(self):
+        model = ChurnModel(mean_uptime=1000.0, mean_downtime=100.0, seed=42)
+        trace = model.trace_for("node", horizon=10_000.0)
+        availability = trace.availability(10_000.0)
+        assert 0.5 < availability <= 1.0
+        assert model.expected_availability() == pytest.approx(1000 / 1100)
+
+    def test_online_at_follows_transitions(self):
+        model = ChurnModel(mean_uptime=10.0, mean_downtime=10.0, seed=1)
+        trace = model.trace_for("node", horizon=1000.0)
+        assert trace.online_at(0.0)
+        if trace.failure_times():
+            first_failure = trace.failure_times()[0]
+            assert not trace.online_at(first_failure + 1e-6)
+
+    def test_traces_for_many_nodes(self):
+        model = ChurnModel(seed=7)
+        traces = model.traces([f"n{i}" for i in range(5)], horizon=1000.0)
+        assert len(traces) == 5
+
+    def test_validation(self):
+        import pytest
+        with pytest.raises(ValueError):
+            ChurnModel(mean_uptime=0)

@@ -1,0 +1,144 @@
+"""Tests for the in-process and TCP transports."""
+
+import pytest
+
+from repro.exceptions import EndpointUnreachableError, ProtocolError
+from repro.transport.base import Endpoint
+from repro.transport.inprocess import InProcessTransport
+from repro.transport.tcp import TcpTransport
+
+
+class EchoEndpoint(Endpoint):
+    """Simple endpoint used to exercise the transports."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def echo(self, value):
+        self.calls += 1
+        return value
+
+    def add(self, a, b):
+        return a + b
+
+    def boom(self):
+        raise ValueError("intentional failure")
+
+    def _private(self):  # pragma: no cover - must never be reachable
+        return "secret"
+
+
+class TestEndpointDispatch:
+    def test_dispatch_calls_method(self):
+        endpoint = EchoEndpoint()
+        assert endpoint.dispatch("add", {"a": 2, "b": 3}) == 5
+
+    def test_dispatch_rejects_private_methods(self):
+        with pytest.raises(ProtocolError):
+            EchoEndpoint().dispatch("_private", {})
+
+    def test_dispatch_rejects_unknown_methods(self):
+        with pytest.raises(ProtocolError):
+            EchoEndpoint().dispatch("nope", {})
+
+    def test_exported_methods_exclude_private(self):
+        exported = EchoEndpoint().exported_methods()
+        assert "echo" in exported and "_private" not in exported
+
+
+class TestInProcessTransport:
+    def test_register_and_call(self):
+        transport = InProcessTransport()
+        endpoint = EchoEndpoint()
+        transport.register("node://a", endpoint)
+        assert transport.call("node://a", "echo", value=41) == 41
+        assert endpoint.calls == 1
+
+    def test_proxy_sugar(self):
+        transport = InProcessTransport()
+        transport.register("node://a", EchoEndpoint())
+        proxy = transport.proxy("node://a")
+        assert proxy.add(a=1, b=2) == 3
+
+    def test_unknown_address_unreachable(self):
+        with pytest.raises(EndpointUnreachableError):
+            InProcessTransport().call("node://missing", "echo", value=1)
+
+    def test_disconnect_and_reconnect(self):
+        transport = InProcessTransport()
+        transport.register("node://a", EchoEndpoint())
+        transport.disconnect("node://a")
+        assert not transport.is_connected("node://a")
+        with pytest.raises(EndpointUnreachableError):
+            transport.call("node://a", "echo", value=1)
+        transport.reconnect("node://a")
+        assert transport.call("node://a", "echo", value=1) == 1
+
+    def test_unregister(self):
+        transport = InProcessTransport()
+        transport.register("node://a", EchoEndpoint())
+        transport.unregister("node://a")
+        assert "node://a" not in transport.registered_addresses()
+
+    def test_remote_exceptions_propagate(self):
+        transport = InProcessTransport()
+        transport.register("node://a", EchoEndpoint())
+        with pytest.raises(ValueError):
+            transport.call("node://a", "boom")
+
+    def test_call_counting(self):
+        transport = InProcessTransport()
+        transport.register("node://a", EchoEndpoint())
+        transport.call("node://a", "echo", value=1)
+        transport.call("node://a", "echo", value=2)
+        assert transport.calls_to("node://a") == 2
+        transport.reset_counters()
+        assert transport.calls_to("node://a") == 0
+
+    def test_fault_hook(self):
+        transport = InProcessTransport()
+        transport.register("node://a", EchoEndpoint())
+        seen = []
+        transport.set_fault_hook(lambda address, method, payload: seen.append(method))
+        transport.call("node://a", "echo", value=1)
+        assert seen == ["echo"]
+        transport.set_fault_hook(None)
+
+
+class TestTcpTransport:
+    def test_round_trip_over_sockets(self):
+        transport = TcpTransport()
+        try:
+            transport.register("127.0.0.1:0", EchoEndpoint())
+            address = transport.bound_address("127.0.0.1:0")
+            assert transport.call(address, "echo", value={"nested": [1, 2, 3]}) == {
+                "nested": [1, 2, 3]
+            }
+            assert transport.call(address, "add", a=10, b=5) == 15
+        finally:
+            transport.close()
+
+    def test_remote_exception_propagates(self):
+        transport = TcpTransport()
+        try:
+            transport.register("127.0.0.1:0", EchoEndpoint())
+            address = transport.bound_address("127.0.0.1:0")
+            with pytest.raises(ValueError):
+                transport.call(address, "boom")
+        finally:
+            transport.close()
+
+    def test_bytes_payload(self):
+        transport = TcpTransport()
+        try:
+            transport.register("127.0.0.1:0", EchoEndpoint())
+            address = transport.bound_address("127.0.0.1:0")
+            payload = bytes(range(256)) * 100
+            assert transport.call(address, "echo", value=payload) == payload
+        finally:
+            transport.close()
+
+    def test_unreachable_endpoint(self):
+        transport = TcpTransport(connect_timeout=0.2)
+        with pytest.raises(EndpointUnreachableError):
+            transport.call("127.0.0.1:1", "echo", value=1)

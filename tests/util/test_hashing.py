@@ -1,0 +1,112 @@
+"""Tests for hashing primitives: digests and the rolling hash."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.hashing import RollingHash, chunk_digest, digest_bytes, hexdigest_bytes
+
+
+class TestDigests:
+    def test_digest_is_deterministic(self):
+        assert digest_bytes(b"abc") == digest_bytes(b"abc")
+
+    def test_digest_differs_for_different_data(self):
+        assert digest_bytes(b"abc") != digest_bytes(b"abd")
+
+    def test_hexdigest_matches_digest(self):
+        assert hexdigest_bytes(b"xyz") == digest_bytes(b"xyz").hex()
+
+    def test_chunk_digest_is_hex(self):
+        digest = chunk_digest(b"payload")
+        assert len(digest) == 40
+        int(digest, 16)  # does not raise
+
+    def test_alternate_algorithm(self):
+        assert len(hexdigest_bytes(b"payload", algorithm="md5")) == 32
+
+    def test_empty_payload_digest(self):
+        assert chunk_digest(b"") == chunk_digest(b"")
+
+
+class TestRollingHash:
+    def test_requires_positive_window(self):
+        with pytest.raises(ValueError):
+            RollingHash(0)
+
+    def test_requires_sane_base_and_modulus(self):
+        with pytest.raises(ValueError):
+            RollingHash(4, base=1)
+        with pytest.raises(ValueError):
+            RollingHash(4, base=300, modulus=10)
+
+    def test_push_until_full(self):
+        roller = RollingHash(3)
+        for byte in b"abc":
+            roller.push(byte)
+        assert roller.filled
+
+    def test_push_past_full_raises(self):
+        roller = RollingHash(2)
+        roller.push(1)
+        roller.push(2)
+        with pytest.raises(ValueError):
+            roller.push(3)
+
+    def test_roll_before_full_raises(self):
+        roller = RollingHash(2)
+        roller.push(1)
+        with pytest.raises(ValueError):
+            roller.roll(5, 1)
+
+    def test_hash_window_bounds_check(self):
+        roller = RollingHash(4)
+        with pytest.raises(ValueError):
+            roller.hash_window(b"abc", 0)
+
+    def test_reset_clears_state(self):
+        roller = RollingHash(2)
+        roller.push(10)
+        roller.push(20)
+        roller.reset()
+        assert not roller.filled
+        assert roller.value == 0
+
+    def test_roll_matches_from_scratch(self):
+        data = b"the quick brown fox jumps over the lazy dog"
+        window = 7
+        roller = RollingHash(window)
+        for byte in data[:window]:
+            roller.push(byte)
+        for position in range(1, len(data) - window + 1):
+            roller.roll(data[position + window - 1], data[position - 1])
+            expected = RollingHash(window).hash_window(data, position)
+            assert roller.value == expected
+
+    @given(data=st.binary(min_size=8, max_size=256),
+           window=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_roll_consistency_property(self, data, window):
+        """Sliding byte-by-byte always equals hashing the window from scratch."""
+        if len(data) < window + 1:
+            return
+        roller = RollingHash(window)
+        for byte in data[:window]:
+            roller.push(byte)
+        reference = RollingHash(window)
+        for position in range(1, len(data) - window + 1):
+            roller.roll(data[position + window - 1], data[position - 1])
+            assert roller.value == reference.hash_window(data, position)
+
+    @given(data=st.binary(min_size=4, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_hash_window_deterministic(self, data):
+        window = min(4, len(data))
+        one = RollingHash(window).hash_window(data, 0)
+        two = RollingHash(window).hash_window(data, 0)
+        assert one == two
+
+    def test_low_bits_zero_predicate(self):
+        roller = RollingHash(2)
+        assert roller.low_bits_zero(4, value=0b10000)
+        assert not roller.low_bits_zero(4, value=0b10001)
+        assert roller.low_bits_zero(1, value=2)
