@@ -13,11 +13,15 @@ is what keeps the paper's OAB in the 100–140 MB/s band.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from repro import StdchkConfig, StdchkPool
+from repro.benefactor.chunk_store import DelayedChunkStore
 from repro.simulation import lan_testbed, simulate_write
 from repro.util.config import WriteProtocol
-from repro.util.units import GiB, MiB
+from repro.util.units import GiB, MB, MiB
 
 from benchmarks.conftest import print_table
 
@@ -58,3 +62,51 @@ def test_figure4_5_report(benchmark):
     assert all(later >= earlier for earlier, later in zip(oabs, oabs[1:]))
     # A single benefactor stays disk-bound (~65 MB/s) for every buffer size.
     assert by_buffer[512]["ASB_w1"] == pytest.approx(65, rel=0.15)
+
+
+# ---------------------------------------------------------------------------
+# Functional data path: in-flight window scaling of the sliding window
+# ---------------------------------------------------------------------------
+FUNC_CHUNK = 64 * 1024
+FUNC_CHUNKS = 32
+
+
+def run_sliding_window(parallelism: int) -> float:
+    """OAB (MB/s) of one functional SW write on 3 ms/put stores."""
+    config = StdchkConfig(
+        chunk_size=FUNC_CHUNK,
+        stripe_width=4,
+        replication_level=1,
+        window_buffer_size=16 * FUNC_CHUNK,
+        push_parallelism=parallelism,
+    )
+    pool = StdchkPool(
+        benefactor_count=4,
+        config=config,
+        store_factory=lambda capacity: DelayedChunkStore(capacity, put_delay=0.003),
+    )
+    client = pool.client("sw-bench")
+    payload = bytes(FUNC_CHUNKS * FUNC_CHUNK)
+    start = time.perf_counter()
+    client.write_file(f"/sw/p{parallelism}", payload)
+    elapsed = time.perf_counter() - start
+    return (len(payload) / elapsed) / MB
+
+
+def test_functional_sliding_window_parallelism_sweep(benchmark):
+    """Figure 4 companion: the sliding window's functional OAB grows with the
+    in-flight window (``push_parallelism``) until the stripe is saturated."""
+    rows = [
+        {"push_parallelism": parallelism, "OAB": run_sliding_window(parallelism)}
+        for parallelism in (1, 2, 4)
+    ]
+    print_table(
+        "Figure 4 companion — functional SW OAB (MB/s) vs push_parallelism "
+        "(3 ms/put stores, stripe width 4)",
+        rows,
+        note="the in-flight window replaces the paper's memory buffer sweep",
+    )
+    by_level = {row["push_parallelism"]: row["OAB"] for row in rows}
+    assert by_level[2] > by_level[1]
+    assert by_level[4] > by_level[2]
+    assert by_level[4] >= 2.0 * by_level[1]

@@ -20,7 +20,6 @@ from __future__ import annotations
 import pytest
 
 from repro import StdchkConfig, StdchkPool
-from repro.similarity import FixedSizeCompareByHash, trace_similarity
 from repro.simulation import lan_testbed, simulate_write
 from repro.util.config import SimilarityHeuristic, WriteProtocol
 from repro.util.units import MB, MiB

@@ -1,0 +1,94 @@
+"""Parallel chunk push — OAB with ``push_parallelism`` on vs. off, over TCP.
+
+The paper's write protocols are only as fast as the data path lets them be:
+section IV.B overlaps checkpoint production with propagation to benefactors.
+This benchmark measures the functional implementation end-to-end over a real
+localhost TCP transport against benefactors whose stores model a scavenged
+disk's per-request service time, and reports the observed application
+bandwidth (OAB) of the sliding-window and incremental-write protocols with
+the pipelined parallel pusher disabled (``push_parallelism=1``, the
+historical one-RPC-at-a-time path) and enabled (``push_parallelism=4``).
+
+Acceptance gate: with four benefactors and a four-wide in-flight window the
+parallel path must deliver at least 2x the serial OAB for both SW and IW.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import StdchkConfig, TcpDeployment
+from repro.benefactor.chunk_store import DelayedChunkStore
+from repro.util.config import WriteProtocol
+from repro.util.units import MB
+
+from benchmarks.conftest import print_table
+
+CHUNK = 64 * 1024
+CHUNKS = 48
+FILE_SIZE = CHUNKS * CHUNK
+#: Simulated per-put device service time (a scavenged desktop disk).
+PUT_DELAY = 0.004
+PARALLELISM_LEVELS = (1, 4)
+PROTOCOLS = (
+    ("SW", WriteProtocol.SLIDING_WINDOW),
+    ("IW", WriteProtocol.INCREMENTAL),
+)
+
+
+def make_config(protocol: WriteProtocol) -> StdchkConfig:
+    return StdchkConfig(
+        chunk_size=CHUNK,
+        stripe_width=4,
+        replication_level=1,
+        window_buffer_size=16 * CHUNK,
+        incremental_file_size=8 * CHUNK,
+        write_protocol=protocol,
+    )
+
+
+def run_once(protocol: WriteProtocol, parallelism: int) -> float:
+    """One full-file write over TCP; returns OAB in MB/s."""
+
+    def slow_store(capacity):
+        return DelayedChunkStore(capacity, put_delay=PUT_DELAY)
+
+    with TcpDeployment(
+        benefactor_count=4,
+        config=make_config(protocol),
+        store_factory=slow_store,
+    ) as deployment:
+        client = deployment.client("bench", push_parallelism=parallelism)
+        payload = bytes(FILE_SIZE)
+        start = time.perf_counter()
+        session = client.write_file(f"/bench/p{parallelism}", payload)
+        elapsed = time.perf_counter() - start
+        assert session.stats.chunks_pushed == CHUNKS
+        assert client.read_file(f"/bench/p{parallelism}") == payload
+    return (FILE_SIZE / elapsed) / MB
+
+
+def sweep():
+    rows = []
+    for label, protocol in PROTOCOLS:
+        row = {"protocol": label}
+        for parallelism in PARALLELISM_LEVELS:
+            row[f"OAB_p{parallelism}"] = run_once(protocol, parallelism)
+        row["speedup"] = row["OAB_p4"] / row["OAB_p1"]
+        rows.append(row)
+    return rows
+
+
+def test_parallel_push_oab_speedup(benchmark):
+    rows = sweep()
+    print_table(
+        "Parallel push — OAB (MB/s) over TCP, 4 ms/put benefactor stores "
+        f"({CHUNKS} x {CHUNK // 1024} KiB chunks)",
+        rows,
+        note="push_parallelism=4 vs 1; acceptance gate: >= 2x for SW and IW",
+    )
+    for row in rows:
+        assert row["speedup"] >= 2.0, (
+            f"{row['protocol']}: parallel OAB {row['OAB_p4']:.1f} MB/s is less "
+            f"than 2x serial {row['OAB_p1']:.1f} MB/s"
+        )

@@ -16,8 +16,6 @@ average chunk size for small m.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.similarity import ContentBasedCompareByHash, trace_similarity
 from repro.workloads import blast_blcr_trace
 from repro.util.units import MiB

@@ -14,7 +14,7 @@ discrete-event substrate only models transfer times.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 import pytest
 

@@ -1,0 +1,10 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-build-isolation --no-use-pep517`` works in
+minimal environments (no network, no ``wheel``); normal installs go through
+the PEP 517 path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -25,7 +25,7 @@ Quickstart::
     image = fs.read_file("/app/app.N0.T1")
 """
 
-from repro.pool import StdchkPool, PoolStats
+from repro.pool import StdchkPool, PoolStats, TcpDeployment
 from repro.util.config import (
     BenefactorConfig,
     RetentionConfig,
@@ -46,11 +46,12 @@ from repro.similarity import (
     trace_similarity,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "StdchkPool",
     "PoolStats",
+    "TcpDeployment",
     "StdchkConfig",
     "BenefactorConfig",
     "RetentionConfig",

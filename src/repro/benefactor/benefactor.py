@@ -15,6 +15,7 @@ additionally wipes a memory-backed store, modelling loss of node-local data.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence
 
 from repro.benefactor.chunk_store import ChunkStore, MemoryChunkStore
@@ -52,7 +53,15 @@ class Benefactor(Endpoint):
             "bytes_in": 0,
             "bytes_out": 0,
         }
+        # Parallel pushers hit one benefactor from several client threads at
+        # once; the chunk store serializes internally, the stats need their
+        # own lock so counters stay exact under concurrency.
+        self._stats_lock = threading.Lock()
         self.transport.register(self.address, self)
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[counter] += amount
 
     # -- lifecycle -----------------------------------------------------------
     def _require_online(self) -> None:
@@ -95,16 +104,44 @@ class Benefactor(Endpoint):
         chunk = Chunk(chunk_id=chunk_id, data=data)
         chunk.verify()
         self.store.put(chunk)
-        self.stats["puts"] += 1
-        self.stats["bytes_in"] += len(data)
+        self._bump("puts")
+        self._bump("bytes_in", len(data))
         return {"stored": True, "free_space": self.store.free_space}
+
+    def put_chunks(self, chunks: Sequence[Dict[str, object]]) -> Dict[str, object]:
+        """Store a batch of chunks in one RPC (``[{chunk_id, data}, ...]``).
+
+        Batching amortizes the per-call transport cost for small chunks; the
+        background replication path uses it to ship whole shadow chunk-maps
+        with one call per target.  Chunks are stored in order; a failure
+        (integrity, store full) aborts the remainder and reports how far the
+        batch got so the caller can retry elsewhere.
+        """
+        self._require_online()
+        stored: List[ChunkId] = []
+        for entry in chunks:
+            chunk_id = entry["chunk_id"]  # type: ignore[index]
+            try:
+                chunk = Chunk(chunk_id=chunk_id, data=entry["data"])  # type: ignore[arg-type]
+                chunk.verify()
+                self.store.put(chunk)
+            except Exception:
+                return {
+                    "stored": stored,
+                    "failed_at": chunk_id,
+                    "free_space": self.store.free_space,
+                }
+            self._bump("puts")
+            self._bump("bytes_in", chunk.size)
+            stored.append(chunk.chunk_id)
+        return {"stored": stored, "failed_at": None, "free_space": self.store.free_space}
 
     def get_chunk(self, chunk_id: ChunkId) -> bytes:
         """Return the payload of one chunk."""
         self._require_online()
         chunk = self.store.get(chunk_id)
-        self.stats["gets"] += 1
-        self.stats["bytes_out"] += chunk.size
+        self._bump("gets")
+        self._bump("bytes_out", chunk.size)
         return chunk.data
 
     def has_chunk(self, chunk_id: ChunkId) -> bool:
@@ -115,7 +152,7 @@ class Benefactor(Endpoint):
         self._require_online()
         deleted = self.store.delete(chunk_id)
         if deleted:
-            self.stats["deletes"] += 1
+            self._bump("deletes")
         return deleted
 
     def delete_chunks(self, chunk_ids: Sequence[ChunkId]) -> int:
@@ -125,7 +162,7 @@ class Benefactor(Endpoint):
         for chunk_id in chunk_ids:
             if self.store.delete(chunk_id):
                 removed += 1
-                self.stats["deletes"] += 1
+                self._bump("deletes")
         return removed
 
     def list_chunks(self) -> List[ChunkId]:
@@ -144,7 +181,7 @@ class Benefactor(Endpoint):
         ids that were copied and the ids that were missing locally.
         """
         self._require_online()
-        copied: List[ChunkId] = []
+        batch: List[Dict[str, object]] = []
         missing: List[ChunkId] = []
         for chunk_id in chunk_ids:
             try:
@@ -152,12 +189,18 @@ class Benefactor(Endpoint):
             except ChunkNotFoundError:
                 missing.append(chunk_id)
                 continue
-            self.transport.call(
-                target_address, "put_chunk", chunk_id=chunk.chunk_id, data=chunk.data
+            batch.append({"chunk_id": chunk.chunk_id, "data": chunk.data})
+        copied: List[ChunkId] = []
+        if batch:
+            # One batched RPC per target instead of one call per chunk.
+            answer = self.transport.call(target_address, "put_chunks", chunks=batch)
+            copied = list(answer["stored"])
+            copied_set = set(copied)
+            copied_bytes = sum(
+                len(entry["data"]) for entry in batch if entry["chunk_id"] in copied_set
             )
-            self.stats["replications_out"] += 1
-            self.stats["bytes_out"] += chunk.size
-            copied.append(chunk_id)
+            self._bump("replications_out", len(copied))
+            self._bump("bytes_out", copied_bytes)
         return {"copied": copied, "missing": missing}
 
     # -- convenience -------------------------------------------------------------------

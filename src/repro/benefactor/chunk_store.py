@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.chunk import Chunk, ChunkId
 from repro.exceptions import ChunkNotFoundError, StoreFullError
@@ -130,6 +131,34 @@ class MemoryChunkStore(ChunkStore):
 
     def _used(self) -> int:
         return sum(len(data) for data in self._chunks.values())
+
+
+class DelayedChunkStore(MemoryChunkStore):
+    """A memory store with a fixed per-operation service delay.
+
+    Models the device time of a real scavenged disk (or a WAN hop) so that
+    throughput tests and the parallel-push benchmarks see realistic latency
+    on an otherwise hermetic in-memory deployment.  The delay is served
+    *outside* the store lock: a real disk services independent requests
+    concurrently, and holding the lock would serialize the parallel data
+    path this store exists to exercise.
+    """
+
+    def __init__(self, capacity: int, put_delay: float = 0.0,
+                 get_delay: float = 0.0) -> None:
+        super().__init__(capacity)
+        self.put_delay = put_delay
+        self.get_delay = get_delay
+
+    def put(self, chunk: Chunk) -> None:
+        if self.put_delay > 0:
+            time.sleep(self.put_delay)
+        super().put(chunk)
+
+    def get(self, chunk_id: ChunkId) -> Chunk:
+        if self.get_delay > 0:
+            time.sleep(self.get_delay)
+        return super().get(chunk_id)
 
 
 class DiskChunkStore(ChunkStore):

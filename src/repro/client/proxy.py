@@ -167,6 +167,7 @@ class ClientProxy:
         self.lifetime_stats.chunks_deduplicated += stats.chunks_deduplicated
         self.lifetime_stats.push_failures += stats.push_failures
         self.lifetime_stats.stripe_refreshes += stats.stripe_refreshes
+        self.lifetime_stats.ack_batches += stats.ack_batches
 
     # -- reads ------------------------------------------------------------------------
     def open_read(self, path: str, version: Optional[int] = None) -> StripedReader:

@@ -7,12 +7,23 @@ returning, optimistic writes push one copy and leave the rest to background
 replication), skips chunks that incremental checkpointing proves are already
 stored, handles benefactor failures by refreshing the stripe through the
 manager, and accumulates the chunk-map that will be committed at close time.
+
+Pipelining (section IV.B): with ``push_parallelism > 1`` the pusher dispatches
+chunk pushes through a bounded in-flight window backed by a thread pool, so
+chunk production (spooling, hashing) overlaps propagation to benefactors and
+several benefactors of the stripe receive data concurrently.  ``feed`` blocks
+only when the window is full, which bounds client memory at
+``max_inflight_chunks`` chunk payloads.  With the default
+``push_parallelism == 1`` the data path is fully synchronous, one RPC at a
+time, exactly as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.chunk import Chunk, ChunkRef, content_chunk_id, opaque_chunk_id
 from repro.core.chunk_map import ChunkMap
@@ -38,6 +49,7 @@ class WriteStats:
     chunks_deduplicated: int = 0
     push_failures: int = 0
     stripe_refreshes: int = 0
+    ack_batches: int = 0
 
     @property
     def network_effort(self) -> int:
@@ -77,6 +89,7 @@ class ChunkPusher:
         self.max_stripe_refreshes = max_stripe_refreshes
 
         self._stripe: List[Dict[str, str]] = list(session_info["stripe"])  # type: ignore[arg-type]
+        self._stripe_generation = 0
         self._content_addressed = config.similarity_heuristic is not SimilarityHeuristic.NONE
         #: chunk id -> benefactors known to hold it (previous version + this session).
         self._known_chunks: Dict[str, List[str]] = dict(existing_chunks or {})
@@ -85,6 +98,28 @@ class ChunkPusher:
         self._next_chunk_index = 0
         self._next_offset = 0
         self._pending = bytearray()
+
+        #: Guards stripe, stats, known chunks, results and the ack buffer.
+        self._lock = threading.Lock()
+        #: Serializes stripe refreshes so concurrent workers that observed
+        #: the same dead stripe trigger exactly one extend_stripe RPC.
+        self._refresh_lock = threading.Lock()
+        #: index -> (ref, holders); the chunk-map is assembled at finish time
+        #: so out-of-order parallel completions cannot scramble it.
+        self._results: Dict[int, Tuple[ChunkRef, List[str]]] = {}
+        self._failure: Optional[BaseException] = None
+        self._ack_buffer: List[Dict[str, object]] = []
+
+        self.parallelism = max(1, config.push_parallelism)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._window: Optional[threading.BoundedSemaphore] = None
+        self._futures: List[Future] = []
+        if self.parallelism > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.parallelism,
+                thread_name_prefix=f"push-{self.session_id}",
+            )
+            self._window = threading.BoundedSemaphore(config.effective_inflight_window)
 
     # -- public stream interface ---------------------------------------------
     @property
@@ -114,12 +149,26 @@ class ChunkPusher:
             self._emit(payload)
 
     def finish(self) -> ChunkMap:
-        """Flush the trailing chunk and return the completed chunk-map."""
+        """Flush the trailing chunk, wait for all in-flight pushes, and
+        return the completed chunk-map (ordered by file offset)."""
         if self._pending:
             payload = bytes(self._pending)
             self._pending.clear()
             self._emit(payload)
+        self._drain()
+        self._flush_acks()
+        self._raise_if_failed()
+        self.chunk_map = ChunkMap()
+        for index in sorted(self._results):
+            ref, holders = self._results[index]
+            self.chunk_map.append(ref, benefactors=holders)
         return self.chunk_map
+
+    def cancel(self) -> None:
+        """Abandon in-flight pushes (session abort path)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
 
     # -- chunk emission ------------------------------------------------------
     def _emit(self, payload: bytes) -> None:
@@ -130,39 +179,157 @@ class ChunkPusher:
                 chunk_id=opaque_chunk_id(self.dataset_id, self.version, self._next_chunk_index),
                 data=payload,
             )
+        index = self._next_chunk_index
         ref = ChunkRef(
             chunk_id=chunk.chunk_id, offset=self._next_offset, length=len(payload)
         )
         self._next_chunk_index += 1
         self._next_offset += len(payload)
 
-        known = self._known_chunks.get(chunk.chunk_id)
-        if self._content_addressed and known:
-            # Incremental checkpointing: the chunk content already lives in
-            # the pool; reference it copy-on-write instead of pushing again.
-            self.chunk_map.append(ref, benefactors=known)
-            self.stats.bytes_deduplicated += len(payload)
-            self.stats.chunks_deduplicated += 1
+        if self._content_addressed:
+            with self._lock:
+                known = self._known_chunks.get(chunk.chunk_id)
+                if known:
+                    # Incremental checkpointing: the chunk content already
+                    # lives in the pool; reference it copy-on-write instead
+                    # of pushing again.
+                    self._results[index] = (ref, list(known))
+                    self.stats.bytes_deduplicated += len(payload)
+                    self.stats.chunks_deduplicated += 1
+                    return
+
+        if self._executor is None:
+            self._push_task(chunk, ref, index)
+            self._raise_if_failed()
             return
 
-        holders = self._push_with_replication(chunk)
-        self.chunk_map.append(ref, benefactors=holders)
-        if self._content_addressed:
-            self._known_chunks[chunk.chunk_id] = list(holders)
+        self._raise_if_failed()
+        assert self._window is not None
+        self._window.acquire()
+        with self._lock:
+            failed = self._failure is not None
+        if failed:
+            self._window.release()
+            self._raise_if_failed()
+        self._futures.append(self._executor.submit(self._guarded_push, chunk, ref, index))
+
+    def _guarded_push(self, chunk: Chunk, ref: ChunkRef, index: int) -> None:
+        try:
+            self._push_task(chunk, ref, index)
+        finally:
+            assert self._window is not None
+            self._window.release()
+
+    def _push_task(self, chunk: Chunk, ref: ChunkRef, index: int) -> None:
+        """Push one chunk and record its placement (worker entry point)."""
+        try:
+            holders = self._push_with_replication(chunk, index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via _raise_if_failed
+            with self._lock:
+                if self._failure is None:
+                    self._failure = exc
+            return
+        with self._lock:
+            self._results[index] = (ref, holders)
+            if self._content_addressed:
+                self._known_chunks.setdefault(chunk.chunk_id, list(holders))
+        self._queue_ack(ref, holders)
+
+    def _drain(self) -> None:
+        """Wait for every submitted push to settle and retire the executor."""
+        for future in self._futures:
+            try:
+                future.result()
+            except BaseException as exc:  # noqa: BLE001 - cancelled futures
+                with self._lock:
+                    if self._failure is None:
+                        self._failure = exc
+        self._futures.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _raise_if_failed(self) -> None:
+        with self._lock:
+            failure = self._failure
+        if failure is not None:
+            raise failure
+
+    # -- manager ack batching -----------------------------------------------
+    def _queue_ack(self, ref: ChunkRef, holders: Sequence[str]) -> None:
+        """Batch successful placements into ``put_chunks_ack`` transactions.
+
+        Per-chunk acknowledgements would add one manager transaction per
+        chunk; batching keeps the transaction count at ``chunks / batch``.
+        Disabled (the default) the data path generates no manager traffic at
+        all, preserving the paper's four-transactions-per-write profile.
+        """
+        if self.config.ack_batch_size <= 0:
+            return
+        with self._lock:
+            self._ack_buffer.append(
+                {
+                    "chunk_id": ref.chunk_id,
+                    "offset": ref.offset,
+                    "length": ref.length,
+                    "benefactors": list(holders),
+                }
+            )
+            if len(self._ack_buffer) < self.config.ack_batch_size:
+                return
+            batch, self._ack_buffer = self._ack_buffer, []
+        self._send_ack(batch)
+
+    def _flush_acks(self) -> None:
+        with self._lock:
+            batch, self._ack_buffer = self._ack_buffer, []
+        if batch:
+            self._send_ack(batch)
+
+    def _send_ack(self, batch: List[Dict[str, object]]) -> None:
+        try:
+            self.transport.call(
+                self.manager_address,
+                "put_chunks_ack",
+                session_id=self.session_id,
+                placements=batch,
+            )
+        except StdchkError:
+            # Acks are advisory (early GC protection / failure recovery);
+            # the commit at close time remains the source of truth.
+            return
+        with self._lock:
+            self.stats.ack_batches += 1
 
     # -- pushing & failure handling ----------------------------------------------
-    def _refresh_stripe(self) -> None:
-        if self.stats.stripe_refreshes >= self.max_stripe_refreshes:
-            raise WriteFailedError(
-                f"write session {self.session_id} exhausted stripe refreshes"
+    def _refresh_stripe(self, seen_generation: int) -> None:
+        """Fetch a fresh stripe from the manager, once per failed generation.
+
+        Concurrent workers that observed the same dead stripe coordinate via
+        the generation counter: only the first one performs the refresh RPC,
+        the rest simply retry against the already-refreshed stripe.
+        """
+        with self._refresh_lock:
+            # Late workers queue behind the refresh in flight; by the time
+            # they get here the generation has advanced and they just retry
+            # against the already-refreshed stripe.
+            with self._lock:
+                if self._stripe_generation != seen_generation:
+                    return
+                if self.stats.stripe_refreshes >= self.max_stripe_refreshes:
+                    raise WriteFailedError(
+                        f"write session {self.session_id} exhausted stripe refreshes"
+                    )
+                self.stats.stripe_refreshes += 1
+            answer = self.transport.call(
+                self.manager_address, "extend_stripe", session_id=self.session_id
             )
-        self.stats.stripe_refreshes += 1
-        answer = self.transport.call(
-            self.manager_address, "extend_stripe", session_id=self.session_id
-        )
-        self._stripe = list(answer["stripe"])
-        if not self._stripe:
-            raise WriteFailedError("manager returned an empty stripe")
+            stripe = list(answer["stripe"])
+            if not stripe:
+                raise WriteFailedError("manager returned an empty stripe")
+            with self._lock:
+                self._stripe = stripe
+                self._stripe_generation += 1
 
     def _report_failure(self, benefactor_id: str) -> None:
         try:
@@ -174,16 +341,21 @@ class ChunkPusher:
         except StdchkError:
             pass
 
+    def _stripe_snapshot(self) -> Tuple[List[Dict[str, str]], int]:
+        with self._lock:
+            return list(self._stripe), self._stripe_generation
+
     def _push_once(self, chunk: Chunk, start_slot: int,
-                   skip: Sequence[str]) -> Optional[Dict[str, str]]:
+                   skip: Sequence[str]) -> Tuple[Optional[Dict[str, str]], int]:
         """Try pushing ``chunk`` to one benefactor, rotating through the stripe.
 
-        Returns the stripe entry that accepted the chunk, or None when every
-        candidate failed (the caller then refreshes the stripe).
+        Returns the stripe entry that accepted the chunk (or None when every
+        candidate failed — the caller then refreshes the stripe) together
+        with the stripe generation the attempt ran against.
         """
-        width = len(self._stripe)
-        for probe in range(width):
-            entry = self._stripe[(start_slot + probe) % width]
+        stripe, generation = self._stripe_snapshot()
+        for probe in range(len(stripe)):
+            entry = stripe[(start_slot + probe) % len(stripe)]
             if entry["benefactor_id"] in skip:
                 continue
             try:
@@ -193,14 +365,15 @@ class ChunkPusher:
                     chunk_id=chunk.chunk_id,
                     data=chunk.data,
                 )
-                return entry
+                return entry, generation
             except (EndpointUnreachableError, BenefactorOfflineError, StoreFullError):
-                self.stats.push_failures += 1
+                with self._lock:
+                    self.stats.push_failures += 1
                 self._report_failure(entry["benefactor_id"])
                 continue
-        return None
+        return None, generation
 
-    def _push_with_replication(self, chunk: Chunk) -> List[str]:
+    def _push_with_replication(self, chunk: Chunk, index: int) -> List[str]:
         """Push ``chunk`` according to the configured write semantics."""
         copies_needed = (
             self.replication_level
@@ -208,16 +381,20 @@ class ChunkPusher:
             else 1
         )
         holders: List[str] = []
-        start_slot = self._next_chunk_index - 1  # round-robin by chunk index
+        start_slot = index  # round-robin by chunk index
         while len(holders) < copies_needed:
-            entry = self._push_once(chunk, start_slot + len(holders), skip=holders)
+            entry, generation = self._push_once(
+                chunk, start_slot + len(holders), skip=holders
+            )
             if entry is None:
-                self._refresh_stripe()
+                self._refresh_stripe(generation)
                 continue
             holders.append(entry["benefactor_id"])
-            self.stats.bytes_pushed += chunk.size
-            self.stats.chunks_pushed += 1
-            if len(set(holders)) >= len(self._stripe) and len(holders) < copies_needed:
+            with self._lock:
+                self.stats.bytes_pushed += chunk.size
+                self.stats.chunks_pushed += 1
+                stripe_width = len(self._stripe)
+            if len(set(holders)) >= stripe_width and len(holders) < copies_needed:
                 # Narrow pools cannot hold more distinct replicas than nodes.
                 break
         if not holders:

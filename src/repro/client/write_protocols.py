@@ -22,6 +22,13 @@ control, while ``storage_complete_time`` records when the last chunk reached
 stdchk storage (for the functional, in-process implementation the two
 coincide except for CLW's deferred push; the discrete-event simulator models
 the full asynchrony for the throughput figures).
+
+All three protocols inherit the parallel data path of
+:class:`~repro.client.session.ChunkPusher`: with
+``StdchkConfig.push_parallelism > 1`` the IW and SW sessions overlap spooling
+with propagation (``write`` returns as soon as the chunk enters the bounded
+in-flight window), and ``close``/``finish`` waits for the window to drain
+before committing the chunk-map.
 """
 
 from __future__ import annotations
@@ -32,7 +39,6 @@ from abc import ABC, abstractmethod
 from typing import Dict, List, Optional
 
 from repro.client.session import ChunkPusher, WriteStats
-from repro.core.chunk_map import ChunkMap
 from repro.exceptions import SessionStateError
 from repro.transport.base import Transport
 from repro.util.clock import Clock, SystemClock
@@ -128,6 +134,7 @@ class WriteSession(ABC):
         """Abandon the session; pushed chunks become orphans for GC."""
         if self.committed or self.aborted:
             return
+        self.pusher.cancel()
         self.transport.call(
             self.manager_address, "abort_session", session_id=self.session_id
         )

@@ -9,7 +9,7 @@ once and can be shared copy-on-write between file versions (section IV.C).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import ChunkIntegrityError

@@ -15,7 +15,7 @@ manager's pruner applies the decisions.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from typing import List
 
 from repro.core.dataset import DatasetMetadata, DatasetVersion
 from repro.util.config import RetentionConfig, RetentionPolicyKind

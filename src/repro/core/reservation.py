@@ -8,7 +8,7 @@ asynchronously garbage collected once their lease expires (section IV.A).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.exceptions import ReservationError

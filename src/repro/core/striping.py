@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
 
 from repro.exceptions import NoBenefactorsAvailableError
 

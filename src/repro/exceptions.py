@@ -137,7 +137,20 @@ class FileHandleClosedError(FileSystemError):
 # Transport errors
 # --------------------------------------------------------------------------
 class TransportError(StdchkError):
-    """Base class for RPC/transport failures."""
+    """Base class for RPC/transport failures.
+
+    Transport errors carry the ``endpoint`` (address) they originated from so
+    that callers with many calls in flight — the parallel chunk pusher above
+    all — can tell *which* benefactor failed and report it to the manager.
+    """
+
+    def __init__(self, message: str = "", endpoint: "str | None" = None) -> None:
+        super().__init__(message)
+        self.endpoint = endpoint
+
+    def __reduce__(self):
+        # Keep ``endpoint`` across pickling (TCP frames carry exceptions).
+        return (type(self), (str(self), self.endpoint))
 
 
 class EndpointUnreachableError(TransportError):

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 import shutil
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 class _LocalHandle:

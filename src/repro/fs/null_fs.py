@@ -11,7 +11,7 @@ paper's ``/stdchk/null`` isolates the FUSE context-switch cost.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 class _NullHandle:

@@ -14,7 +14,7 @@ decision logic itself lives in :meth:`MetadataManager.gc_report`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.exceptions import EndpointUnreachableError, StdchkError
 from repro.manager.manager import MetadataManager

@@ -15,10 +15,11 @@ clients and benefactors.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.core.chunk_map import ChunkMap, ShadowChunkMap
+from repro.core.chunk_map import ChunkMap
 from repro.core.dataset import DatasetMetadata, DatasetVersion
 from repro.core.namespace import Namespace, normalize_path, split_path
 from repro.core.reservation import ReservationTable
@@ -27,7 +28,6 @@ from repro.exceptions import (
     CommitConflictError,
     FileNotFoundInStdchkError,
     ManagerUnavailableError,
-    NoBenefactorsAvailableError,
     UnknownDatasetError,
 )
 from repro.manager.registry import BenefactorRegistry
@@ -51,6 +51,9 @@ class WriteSessionRecord:
     replication_level: int
     committed: bool = False
     aborted: bool = False
+    #: chunk id -> benefactors acknowledged mid-session via ``put_chunks_ack``
+    #: (batched by the client; advisory until the commit).
+    acked_chunks: Dict[str, List[str]] = field(default_factory=dict)
 
     @property
     def active(self) -> bool:
@@ -92,6 +95,15 @@ class MetadataManager(Endpoint):
         #: Transaction counter (any client- or benefactor-facing call).
         self.transactions = 0
 
+        # Concurrency audit (parallel chunk pushers call into the manager from
+        # many threads at once): metadata mutations — namespace, datasets,
+        # sessions, reservations — serialize on ``_meta_lock``; the registry
+        # has its own internal lock so liveness traffic (heartbeats, failure
+        # reports) never contends with metadata operations; the transaction
+        # counter has a dedicated lock so read-mostly calls stay cheap.
+        self._meta_lock = threading.RLock()
+        self._txn_lock = threading.Lock()
+
         self.transport.register(self.address, self)
 
     # ------------------------------------------------------------------ utils
@@ -100,7 +112,8 @@ class MetadataManager(Endpoint):
             raise ManagerUnavailableError(f"manager {self.manager_id} is offline")
 
     def _count(self) -> None:
-        self.transactions += 1
+        with self._txn_lock:
+            self.transactions += 1
 
     def fail(self) -> None:
         """Simulate a manager failure (every call raises until recovery)."""
@@ -152,12 +165,18 @@ class MetadataManager(Endpoint):
         """
         self._require_online()
         self._count()
-        reported = set(chunk_ids)
-        live = self.live_chunk_ids()
-        previously_seen = self._gc_seen.get(benefactor_id, set())
-        dead = sorted(cid for cid in reported if cid not in live and cid in previously_seen)
-        self._gc_seen[benefactor_id] = reported
-        return {"collectible": dead}
+        with self._meta_lock:
+            reported = set(chunk_ids)
+            live = self.live_chunk_ids()
+            # Chunks acknowledged by in-flight (uncommitted) sessions are
+            # protected immediately, without waiting for the seen-twice rule.
+            for session in self._sessions.values():
+                if session.active:
+                    live.update(session.acked_chunks)
+            previously_seen = self._gc_seen.get(benefactor_id, set())
+            dead = sorted(cid for cid in reported if cid not in live and cid in previously_seen)
+            self._gc_seen[benefactor_id] = reported
+            return {"collectible": dead}
 
     def expire_benefactors(self) -> List[str]:
         """Expire benefactors whose heartbeats went silent (called by services)."""
@@ -178,9 +197,10 @@ class MetadataManager(Endpoint):
                 purge_after=purge_after,
                 keep_last=keep_last,
             )
-        self.namespace.ensure_folder(path, created_at=self.clock.now())
-        if retention is not None:
-            self.namespace.set_retention(path, retention)
+        with self._meta_lock:
+            self.namespace.ensure_folder(path, created_at=self.clock.now())
+            if retention is not None:
+                self.namespace.set_retention(path, retention)
         return {"created": True, "path": normalize_path(path)}
 
     def set_retention(self, path: str, retention_kind: str,
@@ -234,10 +254,11 @@ class MetadataManager(Endpoint):
         """Delete a file: metadata is dropped; chunks become GC-able orphans."""
         self._require_online()
         self._count()
-        entry = self.namespace.remove_file(path)
-        dataset = self._datasets.pop(entry.dataset_id, None)
-        self._replication_targets.pop(entry.dataset_id, None)
-        removed_versions = len(dataset) if dataset is not None else 0
+        with self._meta_lock:
+            entry = self.namespace.remove_file(path)
+            dataset = self._datasets.pop(entry.dataset_id, None)
+            self._replication_targets.pop(entry.dataset_id, None)
+            removed_versions = len(dataset) if dataset is not None else 0
         return {"deleted": True, "versions_removed": removed_versions}
 
     def remove_folder(self, path: str, force: bool = False) -> Dict[str, object]:
@@ -291,39 +312,40 @@ class MetadataManager(Endpoint):
             else self.config.replication_level
         )
 
-        parent, _name = split_path(path)
-        self.namespace.ensure_folder(parent, created_at=now)
-        if self.namespace.file_exists(path):
-            entry = self.namespace.get_file(path)
-            dataset = self._dataset(entry.dataset_id)
-        else:
-            dataset_id = f"ds-{next(self._dataset_counter)}"
-            dataset = DatasetMetadata(dataset_id=dataset_id, name=path, folder=parent)
-            self._datasets[dataset_id] = dataset
-            self.namespace.add_file(path, dataset_id, created_at=now)
-        self._replication_targets[dataset.dataset_id] = replication
+        with self._meta_lock:
+            parent, _name = split_path(path)
+            self.namespace.ensure_folder(parent, created_at=now)
+            if self.namespace.file_exists(path):
+                entry = self.namespace.get_file(path)
+                dataset = self._dataset(entry.dataset_id)
+            else:
+                dataset_id = f"ds-{next(self._dataset_counter)}"
+                dataset = DatasetMetadata(dataset_id=dataset_id, name=path, folder=parent)
+                self._datasets[dataset_id] = dataset
+                self.namespace.add_file(path, dataset_id, created_at=now)
+            self._replication_targets[dataset.dataset_id] = replication
 
-        stripe = self._allocate_stripe(width, expected_size)
-        reservation = self.reservations.reserve(
-            client_id=client_id,
-            dataset_id=dataset.dataset_id,
-            amount=expected_size,
-            benefactors=[s["benefactor_id"] for s in stripe],
-            now=now,
-        )
-        version = dataset.allocate_version()
-        session = WriteSessionRecord(
-            session_id=f"session-{next(self._session_counter)}",
-            client_id=client_id,
-            path=normalize_path(path),
-            dataset_id=dataset.dataset_id,
-            version=version,
-            stripe=stripe,
-            reservation_id=reservation.reservation_id,
-            created_at=now,
-            replication_level=replication,
-        )
-        self._sessions[session.session_id] = session
+            stripe = self._allocate_stripe(width, expected_size)
+            reservation = self.reservations.reserve(
+                client_id=client_id,
+                dataset_id=dataset.dataset_id,
+                amount=expected_size,
+                benefactors=[s["benefactor_id"] for s in stripe],
+                now=now,
+            )
+            version = dataset.allocate_version()
+            session = WriteSessionRecord(
+                session_id=f"session-{next(self._session_counter)}",
+                client_id=client_id,
+                path=normalize_path(path),
+                dataset_id=dataset.dataset_id,
+                version=version,
+                stripe=stripe,
+                reservation_id=reservation.reservation_id,
+                created_at=now,
+                replication_level=replication,
+            )
+            self._sessions[session.session_id] = session
         return {
             "session_id": session.session_id,
             "dataset_id": dataset.dataset_id,
@@ -338,11 +360,40 @@ class MetadataManager(Endpoint):
         """Re-allocate the stripe for a session (e.g. a benefactor went away)."""
         self._require_online()
         self._count()
-        session = self._session(session_id)
-        stripe = self._allocate_stripe(len(session.stripe) or self.config.stripe_width,
-                                       additional_space)
-        session.stripe = stripe
+        with self._meta_lock:
+            session = self._session(session_id)
+            stripe = self._allocate_stripe(len(session.stripe) or self.config.stripe_width,
+                                           additional_space)
+            session.stripe = stripe
         return {"stripe": stripe}
+
+    def put_chunks_ack(self, session_id: str,
+                       placements: Sequence[Dict[str, object]]) -> Dict[str, object]:
+        """Record a batch of successful chunk placements for an open session.
+
+        The parallel data path sends one ``put_chunks_ack`` per
+        ``ack_batch_size`` stored chunks instead of one transaction per
+        chunk, so the manager learns placements early (GC protection,
+        failure recovery) at a fraction of the transaction cost.  The commit
+        at close time still carries the full chunk-map in a single RPC and
+        remains the only step that makes a version visible.
+        """
+        self._require_online()
+        self._count()
+        with self._meta_lock:
+            session = self._session(session_id)
+            if not session.active:
+                raise CommitConflictError(
+                    f"session is no longer active: {session_id}"
+                )
+            for placement in placements:
+                chunk_id = placement["chunk_id"]  # type: ignore[index]
+                holders = session.acked_chunks.setdefault(str(chunk_id), [])
+                for benefactor in placement.get("benefactors", ()):  # type: ignore[union-attr]
+                    if benefactor not in holders:
+                        holders.append(benefactor)
+            acked_total = len(session.acked_chunks)
+        return {"acked": len(placements), "session_chunks": acked_total}
 
     def _session(self, session_id: str) -> WriteSessionRecord:
         try:
@@ -356,24 +407,25 @@ class MetadataManager(Endpoint):
         """Atomically commit the dataset's chunk-map (session semantics)."""
         self._require_online()
         self._count()
-        session = self._session(session_id)
-        if session.committed:
-            raise CommitConflictError(f"session already committed: {session_id}")
-        if session.aborted:
-            raise CommitConflictError(f"session already aborted: {session_id}")
-        dataset = self._dataset(session.dataset_id)
-        version = DatasetVersion(
-            version=session.version,
-            chunk_map=ChunkMap.from_dict(chunk_map),
-            size=size,
-            created_at=self.clock.now(),
-            producer=producer,
-            timestep=timestep,
-            attributes=dict(attributes or {}),
-        )
-        dataset.commit_version(version)
-        session.committed = True
-        self.reservations.release(session.reservation_id)
+        with self._meta_lock:
+            session = self._session(session_id)
+            if session.committed:
+                raise CommitConflictError(f"session already committed: {session_id}")
+            if session.aborted:
+                raise CommitConflictError(f"session already aborted: {session_id}")
+            dataset = self._dataset(session.dataset_id)
+            version = DatasetVersion(
+                version=session.version,
+                chunk_map=ChunkMap.from_dict(chunk_map),
+                size=size,
+                created_at=self.clock.now(),
+                producer=producer,
+                timestep=timestep,
+                attributes=dict(attributes or {}),
+            )
+            dataset.commit_version(version)
+            session.committed = True
+            self.reservations.release(session.reservation_id)
         return {
             "committed": True,
             "dataset_id": dataset.dataset_id,
@@ -384,9 +436,10 @@ class MetadataManager(Endpoint):
     def abort_session(self, session_id: str) -> Dict[str, object]:
         self._require_online()
         self._count()
-        session = self._session(session_id)
-        session.aborted = True
-        self.reservations.release(session.reservation_id)
+        with self._meta_lock:
+            session = self._session(session_id)
+            session.aborted = True
+            self.reservations.release(session.reservation_id)
         return {"aborted": True}
 
     def active_sessions(self) -> List[WriteSessionRecord]:
@@ -460,7 +513,7 @@ class MetadataManager(Endpoint):
 
         parent, _name = split_path(path)
         if self.namespace.folder_exists(parent):
-            for sibling_path, entry in self.namespace.iter_files(parent):
+            for _sibling_path, entry in self.namespace.iter_files(parent):
                 dataset = self._datasets.get(entry.dataset_id)
                 if dataset is None or dataset.latest is None:
                     continue

@@ -49,7 +49,7 @@ class RetentionPruner:
         if not self.manager.online:
             return report
         now = self.manager.clock.now()
-        for path, entry in list(self.manager.namespace.iter_files("/")):
+        for path, _entry in list(self.manager.namespace.iter_files("/")):
             report.datasets_examined += 1
             config = self._policy_for(path)
             if config is None:

@@ -8,8 +8,9 @@ storage practical on volatile desktops.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import threading
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.core.striping import BenefactorView
 from repro.exceptions import UnknownBenefactorError
@@ -40,84 +41,98 @@ class BenefactorRecord:
 
 
 class BenefactorRegistry:
-    """Tracks every benefactor that ever registered, with liveness state."""
+    """Tracks every benefactor that ever registered, with liveness state.
+
+    All accessors take an internal lock: heartbeats, client failure reports
+    and stripe allocations arrive concurrently once the data path pushes
+    chunks in parallel.
+    """
 
     def __init__(self, heartbeat_timeout: float = 30.0) -> None:
         self.heartbeat_timeout = heartbeat_timeout
         self._records: Dict[str, BenefactorRecord] = {}
+        self._lock = threading.RLock()
 
     # -- registration ---------------------------------------------------------
     def register(self, benefactor_id: str, address: str, free_space: int,
                  used_space: int, chunk_count: int, now: float) -> BenefactorRecord:
         """Create or refresh a benefactor record (registration is idempotent)."""
-        record = self._records.get(benefactor_id)
-        if record is None:
-            record = BenefactorRecord(
-                benefactor_id=benefactor_id,
-                address=address,
-                registered_at=now,
-            )
-            self._records[benefactor_id] = record
-        record.address = address
-        record.free_space = free_space
-        record.used_space = used_space
-        record.chunk_count = chunk_count
-        record.last_heartbeat = now
-        record.online = True
-        record.heartbeats += 1
-        return record
+        with self._lock:
+            record = self._records.get(benefactor_id)
+            if record is None:
+                record = BenefactorRecord(
+                    benefactor_id=benefactor_id,
+                    address=address,
+                    registered_at=now,
+                )
+                self._records[benefactor_id] = record
+            record.address = address
+            record.free_space = free_space
+            record.used_space = used_space
+            record.chunk_count = chunk_count
+            record.last_heartbeat = now
+            record.online = True
+            record.heartbeats += 1
+            return record
 
     def heartbeat(self, benefactor_id: str, free_space: int, used_space: int,
                   chunk_count: int, now: float) -> BenefactorRecord:
         """Refresh liveness and space for an already-registered benefactor."""
-        record = self.get(benefactor_id)
-        record.free_space = free_space
-        record.used_space = used_space
-        record.chunk_count = chunk_count
-        record.last_heartbeat = now
-        record.online = True
-        record.heartbeats += 1
-        return record
+        with self._lock:
+            record = self.get(benefactor_id)
+            record.free_space = free_space
+            record.used_space = used_space
+            record.chunk_count = chunk_count
+            record.last_heartbeat = now
+            record.online = True
+            record.heartbeats += 1
+            return record
 
     def mark_offline(self, benefactor_id: str) -> None:
         """Explicitly mark a benefactor offline (e.g. a failed data call)."""
-        record = self._records.get(benefactor_id)
-        if record is not None:
-            record.online = False
+        with self._lock:
+            record = self._records.get(benefactor_id)
+            if record is not None:
+                record.online = False
 
     def expire(self, now: float) -> List[str]:
         """Mark benefactors with stale heartbeats offline; return their ids."""
         expired: List[str] = []
-        for record in self._records.values():
-            if record.online and (now - record.last_heartbeat) >= self.heartbeat_timeout:
-                record.online = False
-                expired.append(record.benefactor_id)
+        with self._lock:
+            for record in self._records.values():
+                if record.online and (now - record.last_heartbeat) >= self.heartbeat_timeout:
+                    record.online = False
+                    expired.append(record.benefactor_id)
         return expired
 
     # -- queries -------------------------------------------------------------------
     def get(self, benefactor_id: str) -> BenefactorRecord:
-        try:
-            return self._records[benefactor_id]
-        except KeyError:
-            raise UnknownBenefactorError(
-                f"benefactor never registered: {benefactor_id}"
-            ) from None
+        with self._lock:
+            try:
+                return self._records[benefactor_id]
+            except KeyError:
+                raise UnknownBenefactorError(
+                    f"benefactor never registered: {benefactor_id}"
+                ) from None
 
     def address_of(self, benefactor_id: str) -> str:
         return self.get(benefactor_id).address
 
     def known(self) -> List[BenefactorRecord]:
-        return list(self._records.values())
+        with self._lock:
+            return list(self._records.values())
 
     def online(self) -> List[BenefactorRecord]:
-        return [r for r in self._records.values() if r.online]
+        with self._lock:
+            return [r for r in self._records.values() if r.online]
 
     def online_views(self) -> List[BenefactorView]:
         return [r.view() for r in self.online()]
 
     def is_online(self, benefactor_id: str) -> bool:
-        record = self._records.get(benefactor_id)
-        return record is not None and record.online
+        with self._lock:
+            record = self._records.get(benefactor_id)
+            return record is not None and record.online
 
     def total_free_space(self) -> int:
         return sum(r.free_space for r in self.online())
@@ -126,7 +141,9 @@ class BenefactorRegistry:
         return sum(r.free_space + r.used_space for r in self.online())
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __contains__(self, benefactor_id: str) -> bool:
-        return benefactor_id in self._records
+        with self._lock:
+            return benefactor_id in self._records

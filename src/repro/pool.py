@@ -9,7 +9,7 @@ place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.benefactor.benefactor import Benefactor
@@ -22,7 +22,8 @@ from repro.manager.pruner import RetentionPruner
 from repro.manager.replication_service import ReplicationService
 from repro.transport.base import Transport
 from repro.transport.inprocess import InProcessTransport
-from repro.util.clock import Clock, SystemClock, VirtualClock
+from repro.transport.tcp import TcpTransport
+from repro.util.clock import Clock, VirtualClock
 from repro.util.config import StdchkConfig
 from repro.util.units import GiB
 
@@ -53,6 +54,7 @@ class StdchkPool:
         transport: Optional[Transport] = None,
         clock: Optional[Clock] = None,
         storage_root: Optional[str] = None,
+        store_factory=None,
     ) -> None:
         self.config = config if config is not None else StdchkConfig()
         self.clock = clock if clock is not None else VirtualClock()
@@ -62,6 +64,9 @@ class StdchkPool:
         )
         self.benefactors: Dict[str, Benefactor] = {}
         self._storage_root = storage_root
+        #: Optional ``capacity -> ChunkStore`` builder; benchmarks use it to
+        #: model device latency on otherwise hermetic in-memory stores.
+        self._store_factory = store_factory
         self._benefactor_capacity = benefactor_capacity
         for index in range(benefactor_count):
             self.add_benefactor(f"benefactor-{index:02d}", capacity=benefactor_capacity)
@@ -80,7 +85,9 @@ class StdchkPool:
                        capacity: Optional[int] = None) -> Benefactor:
         """Add (and register) one benefactor to the pool."""
         capacity = capacity if capacity is not None else self._benefactor_capacity
-        if self._storage_root is not None:
+        if self._store_factory is not None:
+            store = self._store_factory(capacity)
+        elif self._storage_root is not None:
             store = DiskChunkStore(
                 root=f"{self._storage_root}/{benefactor_id}", capacity=capacity
             )
@@ -144,13 +151,32 @@ class StdchkPool:
     # -- clients -----------------------------------------------------------------
     def client(self, client_id: str = "client-0",
                config: Optional[StdchkConfig] = None,
-               spool_dir: Optional[str] = None) -> ClientProxy:
-        """Create a client proxy attached to this pool."""
+               spool_dir: Optional[str] = None,
+               push_parallelism: Optional[int] = None,
+               max_inflight_chunks: Optional[int] = None,
+               ack_batch_size: Optional[int] = None) -> ClientProxy:
+        """Create a client proxy attached to this pool.
+
+        The parallel data-path knobs can be overridden per client without
+        building a whole config: ``push_parallelism`` (worker threads per
+        session), ``max_inflight_chunks`` (in-flight window bound) and
+        ``ack_batch_size`` (placement-ack batching toward the manager).
+        """
+        effective = config if config is not None else self.config
+        overrides = {}
+        if push_parallelism is not None:
+            overrides["push_parallelism"] = push_parallelism
+        if max_inflight_chunks is not None:
+            overrides["max_inflight_chunks"] = max_inflight_chunks
+        if ack_batch_size is not None:
+            overrides["ack_batch_size"] = ack_batch_size
+        if overrides:
+            effective = effective.with_overrides(**overrides)
         proxy = ClientProxy(
             client_id=client_id,
             transport=self.transport,
             manager_address=self.manager.address,
-            config=config if config is not None else self.config,
+            config=effective,
             clock=self.clock,
             spool_dir=spool_dir,
         )
@@ -196,3 +222,76 @@ class StdchkPool:
     def stored_bytes(self) -> int:
         """Physical bytes held across every benefactor (replicas included)."""
         return sum(b.used_space for b in self.benefactors.values())
+
+
+class TcpDeployment:
+    """A manager plus benefactors wired over a real localhost TCP transport.
+
+    The in-process :class:`StdchkPool` registers components under advisory
+    addresses; over TCP every component binds an ephemeral port and peers
+    must contact each other at the *bound* ``host:port``.  This helper does
+    that wiring (manager first, then benefactors registered at their bound
+    sockets) so TCP tests and benchmarks share one code path.
+
+    ``store_factory`` builds each benefactor's chunk store (defaults to a
+    memory store); benchmarks use it to inject stores with simulated device
+    latency.
+    """
+
+    def __init__(
+        self,
+        benefactor_count: int = 4,
+        benefactor_capacity: int = 1 * GiB,
+        config: Optional[StdchkConfig] = None,
+        store_factory=None,
+        pool_size: Optional[int] = None,
+    ) -> None:
+        self.config = config if config is not None else StdchkConfig()
+        self.transport = TcpTransport(
+            pool_size=pool_size if pool_size is not None else self.config.transport_pool_size
+        )
+        self.manager = MetadataManager(transport=self.transport, config=self.config)
+        self.manager_address = self.transport.bound_address(self.manager.address)
+        self.benefactors: List[Benefactor] = []
+        for index in range(benefactor_count):
+            store = (
+                store_factory(benefactor_capacity)
+                if store_factory is not None
+                else MemoryChunkStore(benefactor_capacity)
+            )
+            benefactor = Benefactor(
+                benefactor_id=f"tcp-benefactor-{index:02d}",
+                transport=self.transport,
+                store=store,
+            )
+            bound = self.transport.bound_address(benefactor.address)
+            self.transport.call(
+                self.manager_address,
+                "register_benefactor",
+                benefactor_id=benefactor.benefactor_id,
+                address=bound,
+                free_space=benefactor.free_space,
+            )
+            self.benefactors.append(benefactor)
+
+    def client(self, client_id: str = "tcp-client",
+               config: Optional[StdchkConfig] = None,
+               push_parallelism: Optional[int] = None) -> ClientProxy:
+        effective = config if config is not None else self.config
+        if push_parallelism is not None:
+            effective = effective.with_overrides(push_parallelism=push_parallelism)
+        return ClientProxy(
+            client_id=client_id,
+            transport=self.transport,
+            manager_address=self.manager_address,
+            config=effective,
+        )
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "TcpDeployment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -11,8 +11,8 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.chunk import ChunkId
 from repro.util.hashing import chunk_digest

@@ -10,7 +10,7 @@ tables do: average detected similarity (%) and detector throughput (MB/s).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from repro.similarity.base import DetectionResult, SimilarityDetector, SimilarityReport
 from repro.util.units import MB

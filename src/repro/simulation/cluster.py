@@ -17,8 +17,8 @@ every benchmark draws the same constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional
 
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.resources import BandwidthResource, FlowNetwork

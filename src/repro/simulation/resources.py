@@ -15,8 +15,8 @@ are advanced at the old rates and all rates are recomputed.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
 
 from repro.exceptions import SimulationError
 from repro.simulation.engine import Event, SimulationEngine

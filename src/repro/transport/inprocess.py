@@ -77,9 +77,13 @@ class InProcessTransport(Transport):
                 self.call_counts.get((address, method), 0) + 1
             )
         if endpoint is None:
-            raise EndpointUnreachableError(f"no endpoint registered at {address!r}")
+            raise EndpointUnreachableError(
+                f"no endpoint registered at {address!r}", endpoint=address
+            )
         if disconnected:
-            raise EndpointUnreachableError(f"endpoint {address!r} is unreachable")
+            raise EndpointUnreachableError(
+                f"endpoint {address!r} is unreachable", endpoint=address
+            )
         if self._fault_hook is not None:
             self._fault_hook(address, method, payload)
         return endpoint.dispatch(method, payload)

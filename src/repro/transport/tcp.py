@@ -18,7 +18,7 @@ import socket
 import socketserver
 import struct
 import threading
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from repro.exceptions import EndpointUnreachableError, ProtocolError
 from repro.transport.base import Endpoint, Transport
@@ -96,16 +96,107 @@ class TcpServer:
             self._thread = None
 
 
+class _ConnectionPool:
+    """A small pool of persistent sockets to one ``host:port`` endpoint.
+
+    Each checked-out socket is exclusively owned by one caller for the
+    duration of a request/response exchange, so no frame-level locking is
+    needed and up to ``limit`` RPCs to the same endpoint proceed in parallel.
+    Callers beyond the limit wait for a socket to be returned.
+    """
+
+    def __init__(self, address: str, connect_timeout: float, limit: int) -> None:
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self.limit = limit
+        self._idle: list[socket.socket] = []
+        self._total = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def _connect(self) -> socket.socket:
+        host, _, port = self.address.partition(":")
+        try:
+            sock = socket.create_connection(
+                (host, int(port)), timeout=self.connect_timeout
+            )
+        except (OSError, ValueError) as exc:
+            with self._cond:
+                self._total -= 1
+                self._cond.notify()
+            raise EndpointUnreachableError(
+                f"cannot connect to {self.address}: {exc}", endpoint=self.address
+            ) from exc
+        sock.settimeout(None)
+        return sock
+
+    def checkout(self) -> socket.socket:
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise EndpointUnreachableError(
+                        f"transport closed while contacting {self.address}",
+                        endpoint=self.address,
+                    )
+                if self._idle:
+                    return self._idle.pop()
+                if self._total < self.limit:
+                    self._total += 1
+                    break
+                self._cond.wait()
+        # Connect outside the condition so waiters are not serialized behind
+        # the TCP handshake; _connect undoes the reservation on failure.
+        return self._connect()
+
+    def checkin(self, sock: socket.socket) -> None:
+        with self._cond:
+            if self._closed:
+                self._total -= 1
+            else:
+                self._idle.append(sock)
+            self._cond.notify()
+        if self._closed:
+            _close_quietly(sock)
+
+    def discard(self, sock: socket.socket) -> None:
+        """Drop a socket that observed an error (never reused)."""
+        _close_quietly(sock)
+        with self._cond:
+            self._total -= 1
+            self._cond.notify()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._total -= len(idle)
+            self._cond.notify_all()
+        for sock in idle:
+            _close_quietly(sock)
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - best effort cleanup
+        pass
+
+
 class TcpTransport(Transport):
     """Client-side transport issuing calls to ``host:port`` addresses.
 
-    Connections are pooled per address and reused across calls; the pool is
-    guarded by a lock so one transport instance can be shared by threads.
+    Connections are pooled per endpoint (a few persistent sockets each,
+    ``pool_size``) and reused across calls, so one transport instance shared
+    by many threads sustains ``pool_size`` concurrent RPCs per endpoint with
+    no socket-per-frame setup cost.
     """
 
-    def __init__(self, connect_timeout: float = 5.0) -> None:
+    def __init__(self, connect_timeout: float = 5.0, pool_size: int = 4) -> None:
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
         self._connect_timeout = connect_timeout
-        self._connections: Dict[str, socket.socket] = {}
+        self._pool_size = pool_size
+        self._pools: Dict[str, _ConnectionPool] = {}
         self._lock = threading.RLock()
         self._servers: Dict[str, TcpServer] = {}
 
@@ -139,58 +230,43 @@ class TcpTransport(Transport):
 
     def close(self) -> None:
         with self._lock:
-            for sock in self._connections.values():
-                try:
-                    sock.close()
-                except OSError:  # pragma: no cover - best effort cleanup
-                    pass
-            self._connections.clear()
+            pools = list(self._pools.values())
+            self._pools.clear()
             servers = list(self._servers.values())
             self._servers.clear()
+        for pool in pools:
+            pool.close()
         for server in servers:
             server.stop()
 
     # -- client-side calls ----------------------------------------------------------
-    def _connection(self, address: str) -> socket.socket:
+    def _pool(self, address: str) -> _ConnectionPool:
         with self._lock:
-            sock = self._connections.get(address)
-            if sock is not None:
-                return sock
-            host, _, port = address.partition(":")
-            try:
-                sock = socket.create_connection(
-                    (host, int(port)), timeout=self._connect_timeout
-                )
-            except OSError as exc:
-                raise EndpointUnreachableError(
-                    f"cannot connect to {address}: {exc}"
-                ) from exc
-            sock.settimeout(None)
-            self._connections[address] = sock
-            return sock
-
-    def _drop_connection(self, address: str) -> None:
-        with self._lock:
-            sock = self._connections.pop(address, None)
-        if sock is not None:
-            try:
-                sock.close()
-            except OSError:  # pragma: no cover - best effort cleanup
-                pass
+            pool = self._pools.get(address)
+            if pool is None:
+                pool = _ConnectionPool(address, self._connect_timeout, self._pool_size)
+                self._pools[address] = pool
+            return pool
 
     def call(self, address: str, method: str, /, **payload: Any) -> Any:
-        sock = self._connection(address)
+        pool = self._pool(address)
+        sock = pool.checkout()
         try:
-            with self._lock:
-                _send_frame(sock, (method, payload))
-                status, result = _recv_frame(sock)
+            _send_frame(sock, (method, payload))
+            status, result = _recv_frame(sock)
         except (ConnectionError, ProtocolError, OSError) as exc:
-            self._drop_connection(address)
+            pool.discard(sock)
             raise EndpointUnreachableError(
-                f"call to {address} failed: {exc}"
+                f"call to {address} failed: {exc}", endpoint=address
             ) from exc
+        except BaseException:
+            # Unexpected failures (e.g. unpicklable response contents) must
+            # not leak the pool slot; drop the socket and re-raise.
+            pool.discard(sock)
+            raise
+        pool.checkin(sock)
         if status == "ok":
             return result
         if status == "error" and isinstance(result, Exception):
             raise result
-        raise ProtocolError(f"malformed response from {address}: {status!r}")
+        raise ProtocolError(f"malformed response from {address}: {status!r}", endpoint=address)

@@ -11,7 +11,7 @@ simulated deployments agree on defaults.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.exceptions import ConfigurationError
@@ -79,6 +79,23 @@ class StdchkConfig:
     #: Incremental-write temporary-file size bound.
     incremental_file_size: int = 64 * MiB
 
+    #: Worker threads pushing chunks concurrently per write session.  1 keeps
+    #: the historical fully-synchronous data path (one RPC at a time); higher
+    #: values overlap chunk production with propagation the way section IV.B
+    #: describes ("as fast as the hardware allows").
+    push_parallelism: int = 1
+    #: Bound on chunks submitted but not yet stored (the in-flight window).
+    #: 0 derives ``2 * push_parallelism`` so every worker stays pipelined.
+    max_inflight_chunks: int = 0
+    #: Client->manager placement acknowledgements are batched in groups of
+    #: this many chunks (one ``put_chunks_ack`` transaction per batch).
+    #: 0 disables mid-session acks entirely, preserving the paper's
+    #: four-transactions-per-write profile (Figure 8).
+    ack_batch_size: int = 0
+    #: Persistent TCP connections kept per endpoint by the pooled transport;
+    #: concurrent pushes beyond this share (and wait for) pooled sockets.
+    transport_pool_size: int = 4
+
     #: Soft-state registration: benefactors are evicted after this silence.
     heartbeat_interval: float = 5.0
     heartbeat_timeout: float = 30.0
@@ -126,6 +143,18 @@ class StdchkConfig:
             raise ConfigurationError(
                 "incremental_file_size must hold at least one chunk"
             )
+        if self.push_parallelism <= 0:
+            raise ConfigurationError("push_parallelism must be positive")
+        if self.max_inflight_chunks < 0:
+            raise ConfigurationError("max_inflight_chunks must be non-negative")
+        if 0 < self.max_inflight_chunks < self.push_parallelism:
+            raise ConfigurationError(
+                "max_inflight_chunks must be at least push_parallelism"
+            )
+        if self.ack_batch_size < 0:
+            raise ConfigurationError("ack_batch_size must be non-negative")
+        if self.transport_pool_size <= 0:
+            raise ConfigurationError("transport_pool_size must be positive")
         if self.heartbeat_timeout <= self.heartbeat_interval:
             raise ConfigurationError(
                 "heartbeat_timeout must exceed heartbeat_interval"
@@ -142,6 +171,13 @@ class StdchkConfig:
             raise ConfigurationError("read_ahead must be non-negative")
         if self.metadata_cache_ttl < 0:
             raise ConfigurationError("metadata_cache_ttl must be non-negative")
+
+    @property
+    def effective_inflight_window(self) -> int:
+        """The in-flight chunk bound actually applied by the data path."""
+        if self.max_inflight_chunks > 0:
+            return self.max_inflight_chunks
+        return 2 * self.push_parallelism
 
     def with_overrides(self, **kwargs) -> "StdchkConfig":
         """Return a copy with ``kwargs`` replaced and re-validated."""

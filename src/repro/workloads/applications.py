@@ -103,7 +103,7 @@ def paper_table2_traces(scale: float = 1.0,
     span many blocks).
     """
     traces: List[CheckpointTrace] = []
-    for application, kind, interval, count, size in PAPER_TRACE_CHARACTERISTICS:
+    for _application, kind, interval, count, size in PAPER_TRACE_CHARACTERISTICS:
         image_count = count if max_images is None else min(count, max_images)
         image_size = max(int(size * scale), 64 * 1024)
         if kind == "application":

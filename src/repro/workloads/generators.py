@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
-from repro.util.units import KiB, MiB
+from repro.util.units import KiB
 
 
 class CheckpointImageGenerator(ABC):

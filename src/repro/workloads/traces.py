@@ -8,8 +8,8 @@ interval, image count, average image size).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
 
 from repro.util.units import MiB
 

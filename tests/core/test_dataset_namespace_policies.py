@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.chunk import ChunkRef
-from repro.core.chunk_map import ChunkMap, ChunkPlacement
+from repro.core.chunk_map import ChunkMap
 from repro.core.dataset import DatasetMetadata, DatasetVersion
 from repro.core.namespace import Namespace, normalize_path
 from repro.core.policies import (

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import StdchkConfig, StdchkPool
-from repro.util.config import RetentionPolicyKind, SimilarityHeuristic, WriteSemantics
+from repro.util.config import RetentionPolicyKind, WriteSemantics
 from repro.util.units import MiB
 from tests.conftest import make_bytes
 

@@ -11,7 +11,6 @@ from repro.similarity import (
     compare_images,
     trace_similarity,
 )
-from repro.similarity.base import DetectionResult
 from repro.util.units import KiB
 
 

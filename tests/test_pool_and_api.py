@@ -1,9 +1,7 @@
 """Tests for the StdchkPool deployment helper and the public package API."""
 
-import pytest
-
 import repro
-from repro import StdchkConfig, StdchkPool
+from repro import StdchkPool
 from repro.util.units import MiB
 from tests.conftest import make_bytes
 

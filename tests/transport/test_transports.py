@@ -142,3 +142,66 @@ class TestTcpTransport:
         transport = TcpTransport(connect_timeout=0.2)
         with pytest.raises(EndpointUnreachableError):
             transport.call("127.0.0.1:1", "echo", value=1)
+
+    def test_connections_are_reused_across_calls(self):
+        transport = TcpTransport(pool_size=2)
+        try:
+            transport.register("127.0.0.1:0", EchoEndpoint())
+            address = transport.bound_address("127.0.0.1:0")
+            for value in range(20):
+                assert transport.call(address, "echo", value=value) == value
+            pool = transport._pool(address)
+            # Sequential calls ride a single persistent socket.
+            assert pool._total == 1
+        finally:
+            transport.close()
+
+    def test_concurrent_calls_share_the_pool(self):
+        import threading
+
+        class SlowEndpoint(Endpoint):
+            def nap(self, seconds):
+                import time
+
+                time.sleep(seconds)
+                return seconds
+
+        transport = TcpTransport(pool_size=4)
+        try:
+            transport.register("127.0.0.1:0", SlowEndpoint())
+            address = transport.bound_address("127.0.0.1:0")
+            results = []
+
+            def caller():
+                results.append(transport.call(address, "nap", seconds=0.05))
+
+            import time
+
+            threads = [threading.Thread(target=caller) for _ in range(8)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            assert results == [0.05] * 8
+            pool = transport._pool(address)
+            assert 1 <= pool._total <= 4
+            # 8 x 50 ms serialized would take >= 400 ms; 4-wide pooling
+            # pipelines them into two waves (plus generous slack for CI).
+            assert elapsed < 0.35
+        finally:
+            transport.close()
+
+    def test_error_frames_do_not_poison_the_connection(self):
+        transport = TcpTransport(pool_size=1)
+        try:
+            transport.register("127.0.0.1:0", EchoEndpoint())
+            address = transport.bound_address("127.0.0.1:0")
+            with pytest.raises(ValueError):
+                transport.call(address, "boom")
+            # The socket that carried the application error is still usable.
+            assert transport.call(address, "echo", value=7) == 7
+            assert transport._pool(address)._total == 1
+        finally:
+            transport.close()
