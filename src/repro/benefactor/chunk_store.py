@@ -13,6 +13,7 @@ import threading
 import time
 from abc import ABC, abstractmethod
 from typing import Dict, List
+from urllib.parse import quote, unquote
 
 from repro.core.chunk import Chunk, ChunkId
 from repro.exceptions import ChunkNotFoundError, StoreFullError
@@ -164,9 +165,13 @@ class DelayedChunkStore(MemoryChunkStore):
 class DiskChunkStore(ChunkStore):
     """Chunks stored as individual files under a contributed directory.
 
-    Chunk ids may contain ``:`` (content-addressed ids are ``sha1:<hex>``),
-    which is replaced by ``_`` in file names.  A small index of sizes avoids
-    stat-ing every file to answer space queries.
+    Chunk ids are percent-encoded into file names so the mapping is
+    *reversible*: a restarted store rebuilds its exact chunk inventory from
+    the contributed directory alone, which is what lets benefactors
+    re-advertise their holdings after a crash.  Content-addressed ids
+    (``sha1:<hex>``) and position-addressed ids (``ds-1:v2:c3``) both
+    round-trip.  A small index of sizes avoids stat-ing every file to answer
+    space queries.
     """
 
     def __init__(self, root: str, capacity: int) -> None:
@@ -177,15 +182,42 @@ class DiskChunkStore(ChunkStore):
         self._load_existing()
 
     def _path(self, chunk_id: ChunkId) -> str:
-        return os.path.join(self.root, chunk_id.replace(":", "_").replace("/", "_"))
+        # ``_`` is escaped on top of percent-encoding so the encoder never
+        # emits it: any ``_`` in an on-disk name therefore marks a legacy
+        # (pre-reversible-encoding) file, which keeps decoding unambiguous
+        # even for ids that literally start with ``sha1_`` or contain ``%``.
+        return os.path.join(self.root, quote(chunk_id, safe="").replace("_", "%5F"))
+
+    @staticmethod
+    def _decode_name(name: str) -> ChunkId:
+        if "_" in name:
+            # Legacy layout: the first ``_`` stood for the ``:`` separator of
+            # a content-addressed id.
+            if name.startswith("sha1_"):
+                return name.replace("_", ":", 1)
+            return name
+        return unquote(name)
 
     def _load_existing(self) -> None:
-        """Rebuild the size index from files already on disk (restart path)."""
+        """Rebuild the chunk index from files already on disk (restart path).
+
+        Stale ``.tmp`` files are leftovers of writes torn by a crash and are
+        discarded; every other file is a chunk whose id is decoded from its
+        file name.
+        """
         for name in os.listdir(self.root):
             path = os.path.join(self.root, name)
-            if os.path.isfile(path):
-                chunk_id = name.replace("_", ":", 1) if name.startswith("sha1_") else name
-                self._sizes[chunk_id] = os.path.getsize(path)
+            if not os.path.isfile(path):
+                continue
+            if name.endswith(".tmp"):
+                os.remove(path)
+                continue
+            chunk_id = self._decode_name(name)
+            encoded = self._path(chunk_id)
+            if encoded != path:
+                # Migrate a legacy file name to the reversible encoding.
+                os.replace(path, encoded)
+            self._sizes[chunk_id] = os.path.getsize(encoded)
 
     def _read(self, chunk_id: ChunkId) -> bytes:
         with open(self._path(chunk_id), "rb") as handle:

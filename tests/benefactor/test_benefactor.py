@@ -69,6 +69,44 @@ class TestDiskChunkStore:
         assert reopened.contains(item.chunk_id)
         assert reopened.used_space == len(item.data)
 
+    def test_restart_round_trips_position_addressed_ids(self, tmp_path):
+        """Position-addressed ids (``ds-1:v2:c3``) must survive a restart.
+
+        The lossy legacy mapping (``:`` -> ``_``) corrupted these ids during
+        the rescan, so a restarted benefactor advertised chunks nobody asked
+        for and denied the ones it actually held.
+        """
+        root = str(tmp_path / "store")
+        store = DiskChunkStore(root=root, capacity=1 << 20)
+        ids = ["ds-1:v2:c3", "ds-10:v1:c0", content_chunk_id(b"abc"), "plain-id",
+               "sha1_looks_legacy", "50%_percent"]
+        for index, chunk_id in enumerate(ids):
+            store.put(Chunk(chunk_id=chunk_id, data=bytes([index]) * (index + 1)))
+        reopened = DiskChunkStore(root=root, capacity=1 << 20)
+        assert sorted(reopened.chunk_ids()) == sorted(ids)
+        for index, chunk_id in enumerate(ids):
+            assert reopened.get(chunk_id).data == bytes([index]) * (index + 1)
+        assert reopened.used_space == store.used_space
+        # Idempotent re-put against the rescanned index stays a no-op.
+        reopened.put(Chunk(chunk_id="ds-1:v2:c3", data=b"\x00"))
+        assert reopened.used_space == store.used_space
+
+    def test_restart_reads_legacy_sha1_file_names(self, tmp_path):
+        data = b"legacy payload"
+        chunk_id = content_chunk_id(data)
+        with open(tmp_path / chunk_id.replace(":", "_"), "wb") as handle:
+            handle.write(data)
+        store = DiskChunkStore(root=str(tmp_path), capacity=1 << 20)
+        assert store.contains(chunk_id)
+        assert store.get(chunk_id).data == data
+
+    def test_restart_discards_torn_tmp_files(self, tmp_path):
+        with open(tmp_path / "something.tmp", "wb") as handle:
+            handle.write(b"half-written")
+        store = DiskChunkStore(root=str(tmp_path), capacity=1 << 20)
+        assert store.chunk_count == 0
+        assert not (tmp_path / "something.tmp").exists()
+
     def test_delete_removes_file(self, tmp_path):
         store = DiskChunkStore(root=str(tmp_path), capacity=1 << 20)
         item = chunk(b"to delete")
