@@ -97,6 +97,40 @@ class Benefactor(Endpoint):
             "timestamp": self.clock.now(),
         }
 
+    def register_with(self, manager_address: str,
+                      advertised_address: Optional[str] = None,
+                      reconcile: bool = True) -> Dict[str, object]:
+        """Register with the manager and re-advertise the chunk inventory.
+
+        On every (re)registration the benefactor reports what it actually
+        holds — for a disk-backed store that is the contributed directory's
+        rescanned contents — so a recovered manager can re-attach placements
+        its journal could not carry and schedule orphans for collection.
+        ``advertised_address`` overrides the address peers should dial (the
+        TCP deployment advertises the *bound* ``host:port``, not the advisory
+        registration key).
+        """
+        self._require_online()
+        address = advertised_address if advertised_address is not None else self.address
+        answer = self.transport.call(
+            manager_address,
+            "register_benefactor",
+            benefactor_id=self.benefactor_id,
+            address=address,
+            free_space=self.store.free_space,
+            used_space=self.store.used_space,
+            chunk_count=self.store.chunk_count,
+        )
+        result: Dict[str, object] = {"registered": answer, "reconciled": None}
+        if reconcile:
+            result["reconciled"] = self.transport.call(
+                manager_address,
+                "reconcile_inventory",
+                benefactor_id=self.benefactor_id,
+                chunk_ids=self.store.chunk_ids(),
+            )
+        return result
+
     # -- data path ----------------------------------------------------------------
     def put_chunk(self, chunk_id: ChunkId, data: bytes) -> Dict[str, object]:
         """Store one chunk; returns the updated free space."""

@@ -9,7 +9,6 @@ section IV.D.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -49,12 +48,19 @@ class DatasetMetadata:
         self.name = name
         self.folder = folder
         self._versions: Dict[VersionId, DatasetVersion] = {}
-        self._next_version = itertools.count(1)
+        self._next_version = 1
 
     # -- version management -------------------------------------------------
     def allocate_version(self) -> VersionId:
         """Reserve the next version number for an in-flight write session."""
-        return next(self._next_version)
+        version = self._next_version
+        self._next_version += 1
+        return version
+
+    def note_version_allocated(self, version: VersionId) -> None:
+        """Fast-forward the version counter past a replayed allocation, so a
+        recovered dataset never re-issues a version number (manager recovery)."""
+        self._next_version = max(self._next_version, version + 1)
 
     def commit_version(self, version: DatasetVersion) -> None:
         """Record a committed version.  Re-commits of the same number are

@@ -7,7 +7,6 @@ asynchronously garbage collected once their lease expires (section IV.A).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -52,7 +51,35 @@ class ReservationTable:
     def __init__(self, default_lease: float = 300.0) -> None:
         self._default_lease = default_lease
         self._reservations: Dict[str, Reservation] = {}
-        self._counter = itertools.count(1)
+        self._seq = 0
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"rsv-{self._seq}"
+
+    def restore(self, reservation_id: str, client_id: str, dataset_id: str,
+                amount: int, benefactors: List[str], created_at: float,
+                lease: Optional[float] = None, consumed: int = 0) -> Reservation:
+        """Recreate a reservation from durable state (manager recovery).
+
+        The id counter is fast-forwarded past the restored id so freshly
+        created reservations never collide with replayed ones.
+        """
+        reservation = Reservation(
+            reservation_id=reservation_id,
+            client_id=client_id,
+            dataset_id=dataset_id,
+            amount=amount,
+            benefactors=list(benefactors),
+            created_at=created_at,
+            lease=self._default_lease if lease is None else lease,
+            consumed=consumed,
+        )
+        self._reservations[reservation_id] = reservation
+        suffix = reservation_id.rsplit("-", 1)[-1]
+        if suffix.isdigit():
+            self._seq = max(self._seq, int(suffix))
+        return reservation
 
     def reserve(
         self,
@@ -67,7 +94,7 @@ class ReservationTable:
         if amount < 0:
             raise ReservationError("reservation amount must be non-negative")
         reservation = Reservation(
-            reservation_id=f"rsv-{next(self._counter)}",
+            reservation_id=self._next_id(),
             client_id=client_id,
             dataset_id=dataset_id,
             amount=amount,

@@ -56,6 +56,27 @@ class ManagerUnavailableError(ManagerError):
     """The manager is offline (simulated manager failure)."""
 
 
+class ManagerRecoveringError(ManagerError):
+    """The manager is replaying its journal; retry once recovery completes.
+
+    Raised instead of serving RPCs against half-restored state: clients and
+    benefactors are expected to back off and retry, exactly as they would for
+    a manager that is still booting.
+    """
+
+
+class JournalCorruptError(ManagerError):
+    """A journal or snapshot file is unreadable beyond torn-tail damage."""
+
+
+class JournalClosedError(ManagerError):
+    """The journal was closed (manager handed over) and rejects appends.
+
+    Raised when a straggler operation on a dead manager tries to write the
+    journal a replacement manager has already recovered from.
+    """
+
+
 # --------------------------------------------------------------------------
 # Benefactor errors
 # --------------------------------------------------------------------------

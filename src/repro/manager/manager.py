@@ -14,8 +14,8 @@ clients and benefactors.
 
 from __future__ import annotations
 
-import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -26,9 +26,18 @@ from repro.core.reservation import ReservationTable
 from repro.core.striping import RoundRobinStriping, StripingPolicy
 from repro.exceptions import (
     CommitConflictError,
+    ConfigurationError,
     FileNotFoundInStdchkError,
+    ManagerRecoveringError,
     ManagerUnavailableError,
     UnknownDatasetError,
+)
+from repro.manager.persistence import (
+    ManagerPersistence,
+    RecoveryReport,
+    apply_record,
+    encode_manager_state,
+    restore_manager_state,
 )
 from repro.manager.registry import BenefactorRegistry
 from repro.transport.base import Endpoint, Transport
@@ -70,6 +79,7 @@ class MetadataManager(Endpoint):
         clock: Optional[Clock] = None,
         striping: Optional[StripingPolicy] = None,
         manager_id: str = "manager",
+        persistence: Optional[ManagerPersistence] = None,
     ) -> None:
         self.config = config if config is not None else StdchkConfig()
         self.clock = clock if clock is not None else SystemClock()
@@ -81,12 +91,26 @@ class MetadataManager(Endpoint):
         self.reservations = ReservationTable(default_lease=self.config.reservation_lease)
         self.striping = striping if striping is not None else RoundRobinStriping()
         self.online = True
+        #: True while the manager replays its journal; RPCs fail fast with
+        #: :class:`ManagerRecoveringError` instead of racing half-restored state.
+        self.recovering = False
+        #: Set during replay so re-applied operations are not re-journaled.
+        self._replaying = False
+        if persistence is None and self.config.journal_dir is not None:
+            persistence = ManagerPersistence(
+                self.config.journal_dir,
+                fsync_policy=self.config.journal_fsync_policy,
+                snapshot_every_n_records=self.config.snapshot_every_n_records,
+            )
+        self._persistence = persistence
 
         self._datasets: Dict[str, DatasetMetadata] = {}
         self._replication_targets: Dict[str, int] = {}
         self._sessions: Dict[str, WriteSessionRecord] = {}
-        self._session_counter = itertools.count(1)
-        self._dataset_counter = itertools.count(1)
+        #: Last allocated session/dataset ordinals (plain ints so recovery can
+        #: fast-forward them past replayed identifiers).
+        self._session_seq = 0
+        self._dataset_seq = 0
         #: Per-benefactor set of chunk ids seen in the previous GC report.
         #: A chunk is declared dead only when it is unreferenced *and* was
         #: already present in the previous report ("seen twice" rule), which
@@ -104,10 +128,22 @@ class MetadataManager(Endpoint):
         self._meta_lock = threading.RLock()
         self._txn_lock = threading.Lock()
 
+        #: Guards against silently appending to (and thereby corrupting) a
+        #: journal left behind by a previous manager life: prior state is
+        #: always replayed before the first new record.
+        self._recovered = False
+        self.last_recovery: Optional[RecoveryReport] = None
+        if self._persistence is not None and self._persistence.has_prior_state():
+            self.recover_from_journal()
+
         self.transport.register(self.address, self)
 
     # ------------------------------------------------------------------ utils
     def _require_online(self) -> None:
+        if self.recovering:
+            raise ManagerRecoveringError(
+                f"manager {self.manager_id} is replaying its journal; retry shortly"
+            )
         if not self.online:
             raise ManagerUnavailableError(f"manager {self.manager_id} is offline")
 
@@ -122,16 +158,123 @@ class MetadataManager(Endpoint):
     def recover(self) -> None:
         self.online = True
 
+    def _next_session_id(self) -> str:
+        self._session_seq += 1
+        return f"session-{self._session_seq}"
+
+    def _next_dataset_id(self) -> str:
+        self._dataset_seq += 1
+        return f"ds-{self._dataset_seq}"
+
+    def _note_session_id(self, session_id: str) -> None:
+        self._session_seq = max(self._session_seq, int(session_id.rsplit("-", 1)[-1]))
+
+    def _note_dataset_id(self, dataset_id: str) -> None:
+        self._dataset_seq = max(self._dataset_seq, int(dataset_id.rsplit("-", 1)[-1]))
+
+    # ------------------------------------------------------------- durability
+    def _journal(self, op: str, payload: Dict[str, object],
+                 durable: bool = False) -> None:
+        """Append one write-ahead record (and snapshot when due).
+
+        Callers already inside ``_meta_lock`` re-enter it for free; callers
+        outside (benefactor registration) take it here so record order always
+        matches application order and snapshots see a consistent state.
+
+        Appends are *fail-stop*: the record is written after the in-memory
+        mutation (the meta lock hides the window from other callers), so if
+        the append itself fails — journal volume full, I/O error — the
+        in-memory state now leads the durable state and serving on would
+        hand out results that recovery cannot restore.  The manager takes
+        itself offline and propagates the error; a restart recovers the
+        consistent journal prefix.
+        """
+        if self._persistence is None or self._replaying:
+            return
+        with self._meta_lock:
+            try:
+                self._persistence.append(op, payload, durable=durable)
+                if self._persistence.should_snapshot():
+                    self._persistence.take_snapshot(encode_manager_state(self))
+            except Exception:
+                self.online = False
+                raise
+
+    @property
+    def persistence(self) -> Optional[ManagerPersistence]:
+        return self._persistence
+
+    def close_persistence(self) -> None:
+        """Release the journal file handle (restart helpers call this)."""
+        if self._persistence is not None:
+            self._persistence.close()
+
+    def recover_from_journal(self) -> RecoveryReport:
+        """Restore state from snapshot + journal replay (crash recovery).
+
+        While replaying, every RPC fails fast with
+        :class:`ManagerRecoveringError`.  The journal's torn tail (a record
+        the crash interrupted mid-append) is truncated, so the recovered
+        state is exactly the longest consistent prefix of the pre-crash
+        operation history — in particular every committed version whose
+        commit record reached the journal is intact.
+        """
+        if self._persistence is None:
+            raise ConfigurationError(
+                "cannot recover: manager has no journal_dir configured"
+            )
+        if self._recovered:
+            # Construction already recovered this journal (auto-recovery on a
+            # pre-existing journal_dir); replaying twice would double-apply.
+            return self.last_recovery
+        start = time.perf_counter()
+        report = RecoveryReport()
+        self.recovering = True
+        self._replaying = True
+        try:
+            with self._meta_lock:
+                state, records, torn_bytes = self._persistence.load()
+                if state is not None:
+                    restore_manager_state(self, state)
+                    report.snapshot_loaded = True
+                for record in records:
+                    apply_record(self, record)
+                report.records_replayed = len(records)
+                report.torn_bytes_dropped = torn_bytes
+        finally:
+            self._replaying = False
+            self.recovering = False
+        report.duration = time.perf_counter() - start
+        report.datasets = len(self._datasets)
+        report.versions = sum(len(d) for d in self._datasets.values())
+        report.sessions_active = sum(1 for s in self._sessions.values() if s.active)
+        report.benefactors_known = len(self.registry)
+        self._recovered = True
+        self.last_recovery = report
+        return report
+
     # ------------------------------------------------- benefactor-facing calls
     def register_benefactor(self, benefactor_id: str, address: str, free_space: int,
                             used_space: int = 0, chunk_count: int = 0) -> Dict[str, object]:
         """Soft-state registration; also used as the periodic heartbeat."""
         self._require_online()
         self._count()
-        record = self.registry.register(
-            benefactor_id, address, free_space, used_space, chunk_count,
-            now=self.clock.now(),
-        )
+        now = self.clock.now()
+        # The meta lock spans the prior-address read, the registry update and
+        # the journal append so concurrent re-registrations cannot journal in
+        # an order that disagrees with the order they were applied.
+        with self._meta_lock:
+            prior_address = self.registry.known_address(benefactor_id)
+            record = self.registry.register(
+                benefactor_id, address, free_space, used_space, chunk_count,
+                now=now,
+            )
+            if prior_address != address:
+                # Membership is journaled; liveness stays soft state (heartbeats).
+                self._journal(
+                    "register",
+                    {"benefactor_id": benefactor_id, "address": address, "t": now},
+                )
         return {
             "registered": True,
             "heartbeat_interval": self.config.heartbeat_interval,
@@ -176,12 +319,57 @@ class MetadataManager(Endpoint):
             previously_seen = self._gc_seen.get(benefactor_id, set())
             dead = sorted(cid for cid in reported if cid not in live and cid in previously_seen)
             self._gc_seen[benefactor_id] = reported
+            if dead:
+                # Journal the deletion authorization (the reported set itself
+                # is soft state: losing it merely delays collection by one
+                # seen-twice round, which is the safe direction).
+                self._journal(
+                    "gc", {"benefactor_id": benefactor_id, "dead": dead},
+                    durable=True,
+                )
             return {"collectible": dead}
 
     def expire_benefactors(self) -> List[str]:
         """Expire benefactors whose heartbeats went silent (called by services)."""
         self._require_online()
         return self.registry.expire(self.clock.now())
+
+    def reconcile_inventory(self, benefactor_id: str,
+                            chunk_ids: Sequence[str]) -> Dict[str, object]:
+        """Reconcile a benefactor's advertised chunk inventory (soft state).
+
+        Benefactors re-advertise the chunks they hold when they (re)register.
+        A recovered manager uses the advertisement to repair what the journal
+        cannot carry: replica placements created by background replication
+        after the last commit record are *re-attached*.  Chunks no committed
+        version references are reported back as orphans but deliberately NOT
+        marked seen for the GC exchange: an "orphan" may be an in-flight
+        chunk whose ack record did not survive the crash, and the seen-twice
+        rule (two consecutive unreferenced reports) is exactly the grace
+        period that lets its session commit first.
+        """
+        self._require_online()
+        self._count()
+        inventory = set(chunk_ids)
+        reattached = 0
+        with self._meta_lock:
+            referenced: Set[str] = set()
+            for dataset in self._datasets.values():
+                for version in dataset.versions:
+                    for placement in version.chunk_map:
+                        chunk_id = placement.ref.chunk_id
+                        if chunk_id not in inventory:
+                            continue
+                        referenced.add(chunk_id)
+                        if benefactor_id not in placement.benefactors:
+                            placement.add_replica(benefactor_id)
+                            reattached += 1
+            protected: Set[str] = set()
+            for session in self._sessions.values():
+                if session.active:
+                    protected.update(session.acked_chunks)
+            orphans = sorted(inventory - referenced - protected)
+        return {"reattached": reattached, "orphans": orphans}
 
     # ------------------------------------------------------ namespace operations
     def make_folder(self, path: str, retention_kind: Optional[str] = None,
@@ -197,24 +385,39 @@ class MetadataManager(Endpoint):
                 purge_after=purge_after,
                 keep_last=keep_last,
             )
+        now = self.clock.now()
         with self._meta_lock:
-            self.namespace.ensure_folder(path, created_at=self.clock.now())
+            self.namespace.ensure_folder(path, created_at=now)
             if retention is not None:
                 self.namespace.set_retention(path, retention)
+            self._journal("make_folder", {
+                "path": normalize_path(path),
+                "retention_kind": retention_kind,
+                "purge_after": purge_after,
+                "keep_last": keep_last,
+                "t": now,
+            })
         return {"created": True, "path": normalize_path(path)}
 
     def set_retention(self, path: str, retention_kind: str,
                       purge_after: float = 3600.0, keep_last: int = 1) -> Dict[str, object]:
         self._require_online()
         self._count()
-        self.namespace.set_retention(
-            path,
-            RetentionConfig(
-                kind=RetentionPolicyKind(retention_kind),
-                purge_after=purge_after,
-                keep_last=keep_last,
-            ),
-        )
+        with self._meta_lock:
+            self.namespace.set_retention(
+                path,
+                RetentionConfig(
+                    kind=RetentionPolicyKind(retention_kind),
+                    purge_after=purge_after,
+                    keep_last=keep_last,
+                ),
+            )
+            self._journal("set_retention", {
+                "path": normalize_path(path),
+                "retention_kind": retention_kind,
+                "purge_after": purge_after,
+                "keep_last": keep_last,
+            })
         return {"updated": True}
 
     def list_dir(self, path: str) -> List[str]:
@@ -259,6 +462,7 @@ class MetadataManager(Endpoint):
             dataset = self._datasets.pop(entry.dataset_id, None)
             self._replication_targets.pop(entry.dataset_id, None)
             removed_versions = len(dataset) if dataset is not None else 0
+            self._journal("delete", {"path": normalize_path(path)}, durable=True)
         return {"deleted": True, "versions_removed": removed_versions}
 
     def remove_folder(self, path: str, force: bool = False) -> Dict[str, object]:
@@ -270,7 +474,13 @@ class MetadataManager(Endpoint):
             for file_path, _entry in list(self.namespace.iter_files(path)):
                 self.delete(file_path)
                 removed += 1
-        self.namespace.remove_folder(path, force=force)
+        with self._meta_lock:
+            self.namespace.remove_folder(path, force=force)
+            self._journal(
+                "remove_folder",
+                {"path": normalize_path(path), "force": force},
+                durable=True,
+            )
         return {"deleted": True, "files_removed": removed}
 
     # ------------------------------------------------------------ write sessions
@@ -319,7 +529,7 @@ class MetadataManager(Endpoint):
                 entry = self.namespace.get_file(path)
                 dataset = self._dataset(entry.dataset_id)
             else:
-                dataset_id = f"ds-{next(self._dataset_counter)}"
+                dataset_id = self._next_dataset_id()
                 dataset = DatasetMetadata(dataset_id=dataset_id, name=path, folder=parent)
                 self._datasets[dataset_id] = dataset
                 self.namespace.add_file(path, dataset_id, created_at=now)
@@ -335,7 +545,7 @@ class MetadataManager(Endpoint):
             )
             version = dataset.allocate_version()
             session = WriteSessionRecord(
-                session_id=f"session-{next(self._session_counter)}",
+                session_id=self._next_session_id(),
                 client_id=client_id,
                 path=normalize_path(path),
                 dataset_id=dataset.dataset_id,
@@ -346,6 +556,20 @@ class MetadataManager(Endpoint):
                 replication_level=replication,
             )
             self._sessions[session.session_id] = session
+            # Logical redo record: carries the *results* (ids, stripe,
+            # version) so replay is deterministic without registry state.
+            self._journal("create_session", {
+                "session_id": session.session_id,
+                "client_id": client_id,
+                "path": session.path,
+                "dataset_id": dataset.dataset_id,
+                "version": version,
+                "stripe": stripe,
+                "reservation_id": reservation.reservation_id,
+                "created_at": now,
+                "replication_level": replication,
+                "expected_size": expected_size,
+            })
         return {
             "session_id": session.session_id,
             "dataset_id": dataset.dataset_id,
@@ -365,6 +589,7 @@ class MetadataManager(Endpoint):
             stripe = self._allocate_stripe(len(session.stripe) or self.config.stripe_width,
                                            additional_space)
             session.stripe = stripe
+            self._journal("extend_stripe", {"session_id": session_id, "stripe": stripe})
         return {"stripe": stripe}
 
     def put_chunks_ack(self, session_id: str,
@@ -386,12 +611,20 @@ class MetadataManager(Endpoint):
                 raise CommitConflictError(
                     f"session is no longer active: {session_id}"
                 )
+            normalized = []
             for placement in placements:
-                chunk_id = placement["chunk_id"]  # type: ignore[index]
-                holders = session.acked_chunks.setdefault(str(chunk_id), [])
+                chunk_id = str(placement["chunk_id"])  # type: ignore[index]
+                holders = session.acked_chunks.setdefault(chunk_id, [])
                 for benefactor in placement.get("benefactors", ()):  # type: ignore[union-attr]
                     if benefactor not in holders:
                         holders.append(benefactor)
+                normalized.append({
+                    "chunk_id": chunk_id,
+                    "benefactors": list(placement.get("benefactors", ())),  # type: ignore[union-attr]
+                })
+            self._journal("put_chunks_ack", {
+                "session_id": session_id, "placements": normalized,
+            })
             acked_total = len(session.acked_chunks)
         return {"acked": len(placements), "session_chunks": acked_total}
 
@@ -414,11 +647,12 @@ class MetadataManager(Endpoint):
             if session.aborted:
                 raise CommitConflictError(f"session already aborted: {session_id}")
             dataset = self._dataset(session.dataset_id)
+            now = self.clock.now()
             version = DatasetVersion(
                 version=session.version,
                 chunk_map=ChunkMap.from_dict(chunk_map),
                 size=size,
-                created_at=self.clock.now(),
+                created_at=now,
                 producer=producer,
                 timestep=timestep,
                 attributes=dict(attributes or {}),
@@ -426,6 +660,15 @@ class MetadataManager(Endpoint):
             dataset.commit_version(version)
             session.committed = True
             self.reservations.release(session.reservation_id)
+            self._journal("commit", {
+                "session_id": session_id,
+                "chunk_map": chunk_map,
+                "size": size,
+                "created_at": now,
+                "producer": producer,
+                "timestep": timestep,
+                "attributes": dict(attributes or {}),
+            }, durable=True)
         return {
             "committed": True,
             "dataset_id": dataset.dataset_id,
@@ -440,6 +683,7 @@ class MetadataManager(Endpoint):
             session = self._session(session_id)
             session.aborted = True
             self.reservations.release(session.reservation_id)
+            self._journal("abort", {"session_id": session_id}, durable=True)
         return {"aborted": True}
 
     def active_sessions(self) -> List[WriteSessionRecord]:
@@ -550,16 +794,37 @@ class MetadataManager(Endpoint):
     def replication_target_for(self, dataset_id: str) -> int:
         return self._replication_targets.get(dataset_id, self.config.replication_level)
 
+    def prune_version(self, dataset_id: str, version: int) -> DatasetVersion:
+        """Remove one version's metadata (retention pruning) and journal it."""
+        with self._meta_lock:
+            dataset = self._dataset(dataset_id)
+            removed = dataset.remove_version(version)
+            self._journal(
+                "prune", {"dataset_id": dataset_id, "version": version},
+                durable=True,
+            )
+        return removed
+
     def drop_benefactor_placements(self, benefactor_id: str) -> int:
         """Remove a departed benefactor from every committed chunk-map.
 
         Returns the number of placements that lost a replica; the replication
-        service will re-create the missing replicas on other nodes.
+        service will re-create the missing replicas on other nodes.  The drop
+        is journaled: a permanently departed benefactor must stay dropped
+        after recovery (it will never re-advertise an inventory to correct
+        the chunk maps), otherwise its ghost replicas would satisfy the
+        replication target and mask real under-replication.
         """
         affected = 0
-        for dataset in self._datasets.values():
-            for version in dataset.versions:
-                affected += version.chunk_map.drop_benefactor(benefactor_id)
+        with self._meta_lock:
+            for dataset in self._datasets.values():
+                for version in dataset.versions:
+                    affected += version.chunk_map.drop_benefactor(benefactor_id)
+            if affected:
+                self._journal(
+                    "drop_benefactor", {"benefactor_id": benefactor_id},
+                    durable=True,
+                )
         return affected
 
     def storage_summary(self) -> Dict[str, object]:

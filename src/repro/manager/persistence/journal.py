@@ -1,0 +1,146 @@
+"""The write-ahead journal: CRC-framed records in an append-only file.
+
+Frame layout (all integers big-endian)::
+
+    [4-byte payload length][4-byte CRC32 of payload][payload: UTF-8 JSON]
+
+A record is valid only when the full frame is present *and* the CRC matches.
+A crash can tear the tail of the file mid-frame; readers stop at the first
+invalid frame and report how many bytes of the file were trustworthy, so the
+writer can truncate the torn tail before resuming appends.
+
+Fsync policies trade write-path latency for durability:
+
+* ``"always"`` — fsync after every record; nothing is ever lost.
+* ``"commit"`` — fsync only on records flagged durable (commit/abort/
+  delete/prune).  Because fsync flushes the whole file prefix, every record
+  *before* a durability point is persisted with it: committed checkpoints
+  are always crash-durable, while the tail of non-durable records (open
+  sessions, acks) may be lost — exactly the state clients cannot rely on
+  anyway before their commit returns.
+* ``"never"`` — leave flushing to the OS (benchmarks, tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+FSYNC_NEVER = "never"
+FSYNC_COMMIT = "commit"
+FSYNC_ALWAYS = "always"
+
+_HEADER = struct.Struct(">II")
+
+
+def encode_record(record: Dict[str, object]) -> bytes:
+    """Serialize one record to its framed wire form."""
+    payload = json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_frames(data: bytes) -> Tuple[List[Dict[str, object]], int]:
+    """Decode every valid frame in ``data``.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the offset of
+    the first torn or corrupt frame (== ``len(data)`` for a clean log).
+    """
+    records: List[Dict[str, object]] = []
+    offset = 0
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, checksum = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            break  # torn tail: payload truncated mid-write
+        payload = data[start:end]
+        if zlib.crc32(payload) != checksum:
+            break  # torn or corrupt frame; nothing after it is trustworthy
+        try:
+            records.append(json.loads(payload.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        offset = end
+    return records, offset
+
+
+def read_journal_records(path: str) -> Tuple[List[Dict[str, object]], int, bool]:
+    """Read a journal file, tolerating a torn tail.
+
+    Returns ``(records, valid_bytes, torn)`` where ``torn`` flags that bytes
+    beyond ``valid_bytes`` were present but unreadable.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records, valid = scan_frames(data)
+    return records, valid, valid < len(data)
+
+
+class JournalWriter:
+    """Appends framed records to one journal segment.
+
+    Appends always reach the OS (``flush``) so an in-process "crash" — the
+    simulation kills the manager object, not the OS — observes every record;
+    ``fsync`` is issued per the policy to survive a machine crash.
+    """
+
+    def __init__(self, path: str, fsync_policy: str = FSYNC_COMMIT) -> None:
+        if fsync_policy not in (FSYNC_NEVER, FSYNC_COMMIT, FSYNC_ALWAYS):
+            raise ValueError(f"unknown fsync policy: {fsync_policy!r}")
+        self.path = path
+        self.fsync_policy = fsync_policy
+        self._handle = open(path, "ab")
+        self._lock = threading.Lock()
+        #: Records appended through this writer (not counting prior contents).
+        self.records_written = 0
+        self.fsyncs = 0
+
+    def append(self, record: Dict[str, object], durable: bool = False) -> None:
+        """Append one record; ``durable`` marks a durability point."""
+        frame = encode_record(record)
+        with self._lock:
+            self._handle.write(frame)
+            self._handle.flush()
+            if self.fsync_policy == FSYNC_ALWAYS or (
+                durable and self.fsync_policy == FSYNC_COMMIT
+            ):
+                os.fsync(self._handle.fileno())
+                self.fsyncs += 1
+            self.records_written += 1
+
+    def sync(self) -> None:
+        with self._lock:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self.fsyncs += 1
+
+    def tell(self) -> int:
+        with self._lock:
+            self._handle.flush()
+            return self._handle.tell()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+def truncate_torn_tail(path: str) -> Optional[int]:
+    """Truncate ``path`` at its last valid frame boundary.
+
+    Returns the number of torn bytes removed, or ``None`` when the file was
+    already clean.
+    """
+    _records, valid, torn = read_journal_records(path)
+    if not torn:
+        return None
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(valid)
+    return size - valid

@@ -1,0 +1,236 @@
+"""On-disk layout and lifecycle of the manager's durable state.
+
+One directory holds everything::
+
+    journal_dir/
+      snapshot-<lsn>.json   # full state through record <lsn> (at most one kept)
+      journal-<lsn>.wal     # records <lsn>+1, <lsn>+2, ... (the active segment)
+
+``lsn`` is the global ordinal of journal records (1-based).  Taking a
+snapshot writes ``snapshot-<L>.json`` atomically (tmp + fsync + rename),
+rotates the journal to a fresh ``journal-<L>.wal`` segment and deletes the
+compacted predecessors — the journal never grows without bound.
+
+Loading scans segments in base order, skips records a snapshot already
+covers, truncates a torn tail (a crash mid-append) and leaves the writer
+positioned at the tail so appends resume with consistent LSNs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import JournalClosedError
+from repro.manager.persistence.journal import (
+    FSYNC_COMMIT,
+    FSYNC_NEVER,
+    JournalWriter,
+    read_journal_records,
+)
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.json$")
+_JOURNAL_RE = re.compile(r"^journal-(\d+)\.wal$")
+
+
+class ManagerPersistence:
+    """Owns the journal directory: appends, snapshots, compaction, loading."""
+
+    def __init__(self, journal_dir: str, fsync_policy: str = FSYNC_COMMIT,
+                 snapshot_every_n_records: int = 4096) -> None:
+        if snapshot_every_n_records <= 0:
+            raise ValueError("snapshot_every_n_records must be positive")
+        self.journal_dir = journal_dir
+        self.fsync_policy = fsync_policy
+        self.snapshot_every_n_records = snapshot_every_n_records
+        os.makedirs(journal_dir, exist_ok=True)
+        self._writer: Optional[JournalWriter] = None
+        self._closed = False
+        self._lock = threading.RLock()
+        #: Ordinal of the last record appended or observed at load time.
+        self.last_lsn = 0
+        #: Ordinal covered by the most recent snapshot (0 = none).
+        self.snapshot_lsn = 0
+        self.snapshots_taken = 0
+
+    # ------------------------------------------------------------- file layout
+    def _snapshot_path(self, lsn: int) -> str:
+        return os.path.join(self.journal_dir, f"snapshot-{lsn:012d}.json")
+
+    def _journal_path(self, base: int) -> str:
+        return os.path.join(self.journal_dir, f"journal-{base:012d}.wal")
+
+    def _list(self, pattern: re.Pattern) -> List[Tuple[int, str]]:
+        entries = []
+        for name in os.listdir(self.journal_dir):
+            match = pattern.match(name)
+            if match is not None:
+                entries.append((int(match.group(1)), os.path.join(self.journal_dir, name)))
+        entries.sort()
+        return entries
+
+    def _fsync_dir(self) -> None:
+        if self.fsync_policy == FSYNC_NEVER:
+            return
+        try:
+            fd = os.open(self.journal_dir, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # ---------------------------------------------------------------- loading
+    def has_prior_state(self) -> bool:
+        """True when the directory holds a snapshot or a non-empty journal."""
+        with self._lock:
+            if self._list(_SNAPSHOT_RE):
+                return True
+            return any(
+                os.path.getsize(path) > 0 for _base, path in self._list(_JOURNAL_RE)
+            )
+
+    def load(self) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]], int]:
+        """Scan the directory and position the writer at the journal tail.
+
+        Returns ``(snapshot_state, records_to_replay, torn_bytes_dropped)``.
+        The torn tail (if any) is truncated so subsequent appends extend a
+        clean log.
+        """
+        with self._lock:
+            self._require_open_store()
+            self._close_writer()
+            # A crash between writing snapshot-<lsn>.json.tmp and renaming it
+            # strands the .tmp; nothing else ever deletes it.
+            for name in os.listdir(self.journal_dir):
+                if name.endswith(".tmp"):
+                    os.remove(os.path.join(self.journal_dir, name))
+            state: Optional[Dict[str, object]] = None
+            snapshot_lsn = 0
+            for lsn, path in reversed(self._list(_SNAPSHOT_RE)):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        state = json.load(handle)
+                    snapshot_lsn = lsn
+                    break
+                except (OSError, json.JSONDecodeError):
+                    continue  # half-written snapshot from a crash; older one wins
+
+            replay: List[Dict[str, object]] = []
+            torn_total = 0
+            last_lsn = snapshot_lsn
+            for base, path in self._list(_JOURNAL_RE):
+                records, valid, torn = read_journal_records(path)
+                if torn:
+                    size = os.path.getsize(path)
+                    with open(path, "r+b") as handle:
+                        handle.truncate(valid)
+                    torn_total += size - valid
+                lsn = base
+                for record in records:
+                    lsn += 1
+                    if lsn > snapshot_lsn:
+                        replay.append(record)
+                last_lsn = max(last_lsn, lsn)
+                if torn:
+                    break  # nothing after a tear is trustworthy
+            self.snapshot_lsn = snapshot_lsn
+            self.last_lsn = last_lsn
+            self._open_writer_at_tail()
+            return state, replay, torn_total
+
+    def _open_writer_at_tail(self) -> None:
+        journals = self._list(_JOURNAL_RE)
+        if journals:
+            _base, path = journals[-1]
+        else:
+            path = self._journal_path(self.snapshot_lsn)
+        self._writer = JournalWriter(path, self.fsync_policy)
+
+    def _require_open_store(self) -> None:
+        if self._closed:
+            raise JournalClosedError(
+                f"persistence for {self.journal_dir} was closed; a successor "
+                "manager owns the journal now"
+            )
+
+    def _ensure_open(self) -> None:
+        self._require_open_store()
+        if self._writer is None:
+            self.load()
+
+    def _close_writer(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    # --------------------------------------------------------------- appending
+    def append(self, op: str, payload: Dict[str, object], durable: bool = False) -> int:
+        """Append one record; returns its LSN."""
+        with self._lock:
+            self._ensure_open()
+            self._writer.append({"op": op, "data": payload}, durable=durable)
+            self.last_lsn += 1
+            return self.last_lsn
+
+    def should_snapshot(self) -> bool:
+        with self._lock:
+            return self.last_lsn - self.snapshot_lsn >= self.snapshot_every_n_records
+
+    def take_snapshot(self, state: Dict[str, object]) -> int:
+        """Write ``state`` as the new snapshot and compact the journal.
+
+        The snapshot is durable on disk *before* the journal it compacts is
+        deleted, so a crash at any point leaves either the old (snapshot,
+        journal) pair or the new one.
+        """
+        with self._lock:
+            self._ensure_open()
+            lsn = self.last_lsn
+            path = self._snapshot_path(lsn)
+            temporary = path + ".tmp"
+            with open(temporary, "w", encoding="utf-8") as handle:
+                json.dump(state, handle, separators=(",", ":"))
+                handle.flush()
+                if self.fsync_policy != FSYNC_NEVER:
+                    os.fsync(handle.fileno())
+            os.replace(temporary, path)
+            self._fsync_dir()
+
+            self._close_writer()
+            self._writer = JournalWriter(self._journal_path(lsn), self.fsync_policy)
+            self.snapshot_lsn = lsn
+            self.snapshots_taken += 1
+            for old_lsn, old_path in self._list(_SNAPSHOT_RE):
+                if old_lsn < lsn:
+                    os.remove(old_path)
+            for base, old_path in self._list(_JOURNAL_RE):
+                if base < lsn:
+                    os.remove(old_path)
+            self._fsync_dir()
+            return lsn
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "last_lsn": self.last_lsn,
+                "snapshot_lsn": self.snapshot_lsn,
+                "records_since_snapshot": self.last_lsn - self.snapshot_lsn,
+                "snapshots_taken": self.snapshots_taken,
+                "fsyncs": self._writer.fsyncs if self._writer is not None else 0,
+            }
+
+    def journal_bytes(self) -> int:
+        """Size of the active journal segment (benchmarks)."""
+        with self._lock:
+            self._ensure_open()
+            return self._writer.tell()
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_writer()

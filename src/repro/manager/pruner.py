@@ -61,7 +61,8 @@ class RetentionPruner:
                 continue
             prunable = policy.select_prunable(dataset, now)
             for version in prunable:
-                dataset.remove_version(version.version)
+                # Route through the manager so the removal is journaled.
+                self.manager.prune_version(dataset.dataset_id, version.version)
                 report.versions_removed += 1
                 report.bytes_removed += version.size
                 report.per_dataset[path] = report.per_dataset.get(path, 0) + 1

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.striping import BenefactorView
 from repro.exceptions import UnknownBenefactorError
@@ -87,6 +87,35 @@ class BenefactorRegistry:
             record.online = True
             record.heartbeats += 1
             return record
+
+    def restore(self, benefactor_id: str, address: str,
+                registered_at: float = 0.0) -> BenefactorRecord:
+        """Recreate a benefactor record from durable state (recovery path).
+
+        Liveness is soft state, so the restored node starts *offline*: it
+        becomes eligible for stripes again only once it re-registers or
+        heartbeats, but its address is immediately resolvable for reads.
+        """
+        with self._lock:
+            record = self._records.get(benefactor_id)
+            if record is None:
+                record = BenefactorRecord(
+                    benefactor_id=benefactor_id,
+                    address=address,
+                    registered_at=registered_at,
+                    online=False,
+                )
+                self._records[benefactor_id] = record
+            else:
+                # A later journal record may carry a newer address.
+                record.address = address
+            return record
+
+    def known_address(self, benefactor_id: str) -> Optional[str]:
+        """Address of ``benefactor_id`` if it ever registered, else ``None``."""
+        with self._lock:
+            record = self._records.get(benefactor_id)
+            return record.address if record is not None else None
 
     def mark_offline(self, benefactor_id: str) -> None:
         """Explicitly mark a benefactor offline (e.g. a failed data call)."""

@@ -15,9 +15,11 @@ from typing import Dict, List, Optional
 from repro.benefactor.benefactor import Benefactor
 from repro.benefactor.chunk_store import DiskChunkStore, MemoryChunkStore
 from repro.client.proxy import ClientProxy
+from repro.exceptions import ConfigurationError
 from repro.fs.filesystem import StdchkFilesystem
 from repro.manager.garbage_collector import GarbageCollector
 from repro.manager.manager import MetadataManager
+from repro.manager.persistence import RecoveryReport
 from repro.manager.pruner import RetentionPruner
 from repro.manager.replication_service import ReplicationService
 from repro.transport.base import Transport
@@ -100,13 +102,7 @@ class StdchkPool:
             clock=self.clock,
         )
         self.benefactors[benefactor_id] = benefactor
-        self.manager.register_benefactor(
-            benefactor_id=benefactor_id,
-            address=benefactor.address,
-            free_space=benefactor.free_space,
-            used_space=benefactor.used_space,
-            chunk_count=benefactor.store.chunk_count,
-        )
+        benefactor.register_with(self.manager.address)
         return benefactor
 
     def heartbeat_all(self) -> None:
@@ -132,13 +128,40 @@ class StdchkPool:
         benefactor = self.benefactors[benefactor_id]
         benefactor.go_online()
         self.transport_reconnect(benefactor.address)
-        self.manager.register_benefactor(
-            benefactor_id=benefactor_id,
-            address=benefactor.address,
-            free_space=benefactor.free_space,
-            used_space=benefactor.used_space,
-            chunk_count=benefactor.store.chunk_count,
+        # Re-registration re-advertises the surviving chunk inventory so the
+        # manager re-attaches placements and schedules orphans for GC.
+        benefactor.register_with(self.manager.address)
+
+    # -- manager durability ------------------------------------------------------
+    def restart_manager(self) -> "RecoveryReport":
+        """Kill the manager and bring up a recovered replacement.
+
+        Simulates a manager crash: the old instance stops serving, a new one
+        restores itself from the journal directory (snapshot + replay), the
+        background services are re-pointed at it, and every online benefactor
+        re-registers and re-advertises its chunk inventory (soft-state
+        reconciliation).  Requires ``config.journal_dir``.
+        """
+        if self.config.journal_dir is None:
+            raise ConfigurationError(
+                "restart_manager requires config.journal_dir"
+            )
+        old = self.manager
+        old.online = False
+        old.close_persistence()
+        self.transport.unregister(old.address)
+        manager = MetadataManager(
+            transport=self.transport, config=self.config, clock=self.clock
         )
+        report = manager.recover_from_journal()
+        self.manager = manager
+        self.replication_service.manager = manager
+        self.garbage_collector.manager = manager
+        self.pruner.manager = manager
+        for benefactor in self.benefactors.values():
+            if benefactor.online:
+                benefactor.register_with(manager.address)
+        return report
 
     def transport_disconnect(self, address: str) -> None:
         if isinstance(self.transport, InProcessTransport):
@@ -265,14 +288,42 @@ class TcpDeployment:
                 store=store,
             )
             bound = self.transport.bound_address(benefactor.address)
-            self.transport.call(
-                self.manager_address,
-                "register_benefactor",
-                benefactor_id=benefactor.benefactor_id,
-                address=bound,
-                free_space=benefactor.free_space,
-            )
+            benefactor.register_with(self.manager_address, advertised_address=bound)
             self.benefactors.append(benefactor)
+
+    def kill_manager(self) -> None:
+        """Tear down the manager endpoint abruptly (simulated crash).
+
+        In-flight and subsequent client RPCs observe connection failures; the
+        journal directory keeps whatever reached it.
+        """
+        self.manager.online = False
+        self.manager.close_persistence()
+        self.transport.unregister(self.manager.address)
+
+    def restart_manager(self) -> "RecoveryReport":
+        """Bring up a recovered manager after :meth:`kill_manager`.
+
+        The replacement binds a fresh port (``manager_address`` is updated),
+        restores itself from the journal, and every benefactor re-registers
+        at the new address, re-advertising its chunk inventory.  Clients
+        created before the crash keep dialling the dead address — build new
+        ones via :meth:`client` after the restart, exactly as a restarted
+        desktop-grid node would re-resolve its manager.
+        """
+        if self.config.journal_dir is None:
+            raise ConfigurationError(
+                "restart_manager requires config.journal_dir"
+            )
+        if self.manager.online:
+            self.kill_manager()
+        self.manager = MetadataManager(transport=self.transport, config=self.config)
+        self.manager_address = self.transport.bound_address(self.manager.address)
+        report = self.manager.recover_from_journal()
+        for benefactor in self.benefactors:
+            bound = self.transport.bound_address(benefactor.address)
+            benefactor.register_with(self.manager_address, advertised_address=bound)
+        return report
 
     def client(self, client_id: str = "tcp-client",
                config: Optional[StdchkConfig] = None,

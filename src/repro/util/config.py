@@ -119,6 +119,17 @@ class StdchkConfig:
     cbch_min_chunk: int = 2 * 1024
     cbch_max_chunk: int = 8 * MiB
 
+    #: Directory holding the manager's write-ahead journal and snapshots.
+    #: ``None`` keeps the historical volatile manager (no durability).
+    journal_dir: Optional[str] = None
+    #: When to fsync journal appends: ``"always"`` (every record),
+    #: ``"commit"`` (durability points only: commit/abort/delete/prune —
+    #: fsync flushes the whole journal prefix, so committed state is always
+    #: crash-durable), or ``"never"`` (leave flushing to the OS).
+    journal_fsync_policy: str = "commit"
+    #: Take a snapshot (and truncate the journal) every this many records.
+    snapshot_every_n_records: int = 4096
+
     #: Optional cap on read-ahead in the FS facade (bytes).
     read_ahead: int = 4 * MiB
     #: Metadata cache time-to-live for readdir/getattr answers (seconds).
@@ -167,6 +178,12 @@ class StdchkConfig:
             raise ConfigurationError("cbch_boundary_bits must be in (0, 32)")
         if self.cbch_min_chunk <= 0 or self.cbch_max_chunk < self.cbch_min_chunk:
             raise ConfigurationError("invalid CbCH chunk bounds")
+        if self.journal_fsync_policy not in ("never", "commit", "always"):
+            raise ConfigurationError(
+                "journal_fsync_policy must be 'never', 'commit' or 'always'"
+            )
+        if self.snapshot_every_n_records <= 0:
+            raise ConfigurationError("snapshot_every_n_records must be positive")
         if self.read_ahead < 0:
             raise ConfigurationError("read_ahead must be non-negative")
         if self.metadata_cache_ttl < 0:
