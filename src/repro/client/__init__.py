@@ -15,7 +15,7 @@ from repro.client.write_protocols import (
     WriteSession,
     make_write_session,
 )
-from repro.client.read_path import StripedReader
+from repro.client.read_path import ReplicaScheduler, StripedReader
 from repro.client.proxy import ClientProxy
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "IncrementalWriteSession",
     "SlidingWindowWriteSession",
     "make_write_session",
+    "ReplicaScheduler",
     "StripedReader",
     "ClientProxy",
 ]

@@ -9,9 +9,9 @@ on this class; applications that prefer an explicit API can use it directly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
-from repro.client.read_path import StripedReader
+from repro.client.read_path import ReplicaScheduler, StripedReader
 from repro.client.session import WriteStats
 from repro.client.write_protocols import WriteSession, make_write_session
 from repro.core.chunk_map import ChunkMap
@@ -42,6 +42,10 @@ class ClientProxy:
         self.spool_dir = spool_dir
         #: Aggregated statistics across every session opened by this client.
         self.lifetime_stats = WriteStats()
+        #: Replica selection state shared by every reader of this client, so
+        #: one reader's failed-benefactor discovery benefits the next and
+        #: concurrent readers spread load across replicas.
+        self.replica_scheduler = ReplicaScheduler()
 
     # -- manager sugar -------------------------------------------------------
     def _manager(self, method: str, **payload):
@@ -178,15 +182,31 @@ class ClientProxy:
             chunk_map=ChunkMap.from_dict(answer["chunk_map"]),
             addresses=answer["addresses"],
             size=answer["size"],
+            read_parallelism=self.config.read_parallelism,
+            max_inflight_reads=self.config.max_inflight_reads,
+            scheduler=self.replica_scheduler,
         )
 
     def read_file(self, path: str, version: Optional[int] = None) -> bytes:
         """Read a whole file (a checkpoint image for a restart)."""
         return self.open_read(path, version=version).read_all()
 
+    def read_file_iter(self, path: str,
+                       version: Optional[int] = None) -> Iterator[bytes]:
+        """Stream a file chunk-by-chunk without buffering it whole.
+
+        Restart-sized images can be piped straight into the restarting
+        process; memory stays bounded by the reader's in-flight window.
+        """
+        return self.open_read(path, version=version).read_iter()
+
     def read_range(self, path: str, offset: int, length: int,
                    version: Optional[int] = None) -> bytes:
-        return self.open_read(path, version=version).read_range(offset, length)
+        reader = self.open_read(path, version=version)
+        try:
+            return reader.read_range(offset, length)
+        finally:
+            reader.close()
 
     def restore_latest_checkpoint(self, application: str,
                                   folder: Optional[str] = None) -> Dict[str, object]:

@@ -1,16 +1,41 @@
 """Read path: reassemble a dataset version from its chunks.
 
-Reads matter less than writes for a checkpoint store, but restart latency
-still depends on them (design goal "reasonable read performance", section
-III.B).  The reader fetches chunks from any replica, falls back to other
-replicas when a benefactor is unreachable, verifies content-addressed chunks
-on arrival, and supports whole-file and byte-range reads (the latter backs
-the FS facade's ``read`` with read-ahead).
+Restart latency after a failure is read-bound (design goal "reasonable read
+performance", section III.B): the client must pull a whole checkpoint image
+back from the benefactors it was striped across.  The reader mirrors the
+write path's pipelined architecture: with ``read_parallelism > 1`` chunk
+fetches for distinct benefactors are dispatched concurrently through a
+bounded in-flight window, integrity verification (SHA-1 recomputation) runs
+inside the worker threads so it overlaps network transfer, and the image is
+reassembled in chunk-map order as futures complete.  With the default
+``read_parallelism == 1`` the data path is fully synchronous, one RPC at a
+time, exactly as before.
+
+Replica selection is delegated to a :class:`ReplicaScheduler` shared across
+every reader of a client session: instead of always hammering the first
+benefactor in placement order, the scheduler rotates across a chunk's
+replicas and prefers the replica with the fewest outstanding requests, and
+benefactors discovered dead (or serving corrupt data) by one reader are
+deprioritized for the next.
+
+Corrupt replicas are handled like unreachable ones: a chunk whose digest or
+length does not match its reference is discarded, the replica is marked
+failed and the next replica is tried; the read only fails when every replica
+of a chunk is exhausted.
+
+Readers are not thread-safe: one thread consumes a reader (its worker
+threads are an implementation detail).  Chunks fetched for a byte-range read
+are retained in a small bounded cache so sequential range reads (the FS
+facade) fetch every chunk exactly once; :meth:`read_iter` streams whole
+images chunk-by-chunk without retaining them, so restart-sized images never
+need to be buffered whole.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.core.chunk import Chunk, is_content_addressed
 from repro.core.chunk_map import ChunkMap, ChunkPlacement
@@ -24,6 +49,76 @@ from repro.exceptions import (
 from repro.transport.base import Transport
 
 
+class ReplicaScheduler:
+    """Replica-selection state shared by every reader of one client.
+
+    Tracks two things per benefactor: how many fetches are currently
+    outstanding against it (so concurrent readers spread load instead of all
+    dialling the first replica in placement order) and whether it recently
+    failed (so one reader's discovery benefits the next).  Failed benefactors
+    are only retried as a last resort — and un-marked when such a retry
+    succeeds, so a recovered node rejoins the rotation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._failed: Set[str] = set()
+        self._outstanding: Dict[str, int] = {}
+        self._rotation = 0
+
+    @property
+    def failed_benefactors(self) -> Set[str]:
+        with self._lock:
+            return set(self._failed)
+
+    def order(self, benefactors: Sequence[str],
+              demote: Sequence[str] = ()) -> List[str]:
+        """Candidate replicas, best first.
+
+        Healthy replicas are rotated (so ties do not always land on the same
+        node) and stably sorted by outstanding request count; failed replicas
+        — and any the caller asks to ``demote`` (e.g. a reader's own
+        chunk-miss discoveries) — are appended last so a chunk whose every
+        holder was marked failed is still attempted rather than abandoned.
+        """
+        if not benefactors:
+            return []
+        demoted = set(demote)
+        with self._lock:
+            healthy = [
+                b for b in benefactors
+                if b not in self._failed and b not in demoted
+            ]
+            pool = healthy if healthy else list(benefactors)
+            offset = self._rotation % len(pool)
+            self._rotation += 1
+            rotated = pool[offset:] + pool[:offset]
+            rotated.sort(key=lambda b: self._outstanding.get(b, 0))
+            if healthy:
+                rotated += [b for b in benefactors if b not in healthy]
+            return rotated
+
+    def begin(self, benefactor_id: str) -> None:
+        with self._lock:
+            self._outstanding[benefactor_id] = self._outstanding.get(benefactor_id, 0) + 1
+
+    def end(self, benefactor_id: str) -> None:
+        with self._lock:
+            remaining = self._outstanding.get(benefactor_id, 0) - 1
+            if remaining > 0:
+                self._outstanding[benefactor_id] = remaining
+            else:
+                self._outstanding.pop(benefactor_id, None)
+
+    def mark_failed(self, benefactor_id: str) -> None:
+        with self._lock:
+            self._failed.add(benefactor_id)
+
+    def mark_alive(self, benefactor_id: str) -> None:
+        with self._lock:
+            self._failed.discard(benefactor_id)
+
+
 class StripedReader:
     """Reads one committed dataset version from its stripe of benefactors."""
 
@@ -34,79 +129,264 @@ class StripedReader:
         addresses: Dict[str, str],
         size: int,
         verify_integrity: bool = True,
+        read_parallelism: int = 1,
+        max_inflight_reads: int = 0,
+        scheduler: Optional[ReplicaScheduler] = None,
+        cache_chunks: int = 0,
     ) -> None:
         self.transport = transport
         self.chunk_map = chunk_map
         self.addresses = dict(addresses)
         self.size = size
         self.verify_integrity = verify_integrity
-        #: Benefactors found unreachable during this read (skipped afterwards).
-        self._failed_benefactors: set = set()
+        self.scheduler = scheduler if scheduler is not None else ReplicaScheduler()
+        self.parallelism = max(1, read_parallelism)
+        window = max_inflight_reads if max_inflight_reads > 0 else 2 * self.parallelism
+        #: Bound on fetches dispatched but not yet consumed (memory bound).
+        self._window = max(window, self.parallelism)
+        #: Chunks retained after range reads so sequential FS scans fetch
+        #: each chunk exactly once; bounded, FIFO-evicted.
+        self._cache_limit = cache_chunks if cache_chunks > 0 else max(2 * self._window, 8)
+        self._placements: List[ChunkPlacement] = list(chunk_map)
+        #: Benefactors that answered ``ChunkNotFoundError`` for this version:
+        #: reader-local (a node missing one chunk of a stale map is not a
+        #: node failure), demoted rather than excluded on later fetches.
+        self._missing: Set[str] = set()
+        self._cache: Dict[int, bytes] = {}
+        self._inflight: Dict[int, "Future[bytes]"] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        #: Guards cache, in-flight futures, executor and statistics.
+        self._lock = threading.Lock()
         #: Simple statistics for benchmarks and tests.
         self.chunks_fetched = 0
         self.bytes_fetched = 0
         self.replica_fallbacks = 0
+        self.cache_hits = 0
 
     # -- chunk fetching -------------------------------------------------------
+    def _verify(self, placement: ChunkPlacement, data: bytes) -> None:
+        if self.verify_integrity and is_content_addressed(placement.ref.chunk_id):
+            Chunk(chunk_id=placement.ref.chunk_id, data=data).verify()
+        if len(data) != placement.ref.length:
+            raise ChunkIntegrityError(
+                f"chunk {placement.ref.chunk_id} has unexpected length "
+                f"{len(data)} (expected {placement.ref.length})"
+            )
+
     def _fetch_chunk(self, placement: ChunkPlacement) -> bytes:
+        """Fetch one chunk from the best replica (worker-thread entry point).
+
+        Unreachable, chunk-less and *corrupt* replicas all fall back to the
+        next candidate; verification runs here so with parallel reads the
+        SHA-1 recomputation overlaps other chunks' network transfers.
+        """
         last_error: Optional[Exception] = None
+        with self._lock:
+            missing = set(self._missing)
         candidates = [
-            b for b in placement.benefactors if b not in self._failed_benefactors
-        ] or list(placement.benefactors)
+            b for b in self.scheduler.order(placement.benefactors,
+                                            demote=missing)
+            if b in self.addresses
+        ]
         for position, benefactor_id in enumerate(candidates):
-            address = self.addresses.get(benefactor_id)
-            if address is None:
-                continue
+            address = self.addresses[benefactor_id]
+            self.scheduler.begin(benefactor_id)
             try:
                 data = self.transport.call(
                     address, "get_chunk", chunk_id=placement.ref.chunk_id
                 )
-            except (EndpointUnreachableError, BenefactorOfflineError,
-                    ChunkNotFoundError) as exc:
+            except ChunkNotFoundError as exc:
+                # The node is healthy, it just lacks this chunk (stale map
+                # after GC, lost disk block): demote it for this reader only
+                # instead of poisoning the session-shared scheduler.
                 last_error = exc
-                self._failed_benefactors.add(benefactor_id)
-                if position + 1 < len(candidates):
-                    self.replica_fallbacks += 1
+                with self._lock:
+                    self._missing.add(benefactor_id)
+                    if position + 1 < len(candidates):
+                        self.replica_fallbacks += 1
                 continue
-            if self.verify_integrity and is_content_addressed(placement.ref.chunk_id):
-                Chunk(chunk_id=placement.ref.chunk_id, data=data).verify()
-            if len(data) != placement.ref.length:
-                raise ChunkIntegrityError(
-                    f"chunk {placement.ref.chunk_id} has unexpected length "
-                    f"{len(data)} (expected {placement.ref.length})"
-                )
-            self.chunks_fetched += 1
-            self.bytes_fetched += len(data)
+            except (EndpointUnreachableError, BenefactorOfflineError) as exc:
+                last_error = exc
+                self.scheduler.mark_failed(benefactor_id)
+                if position + 1 < len(candidates):
+                    with self._lock:
+                        self.replica_fallbacks += 1
+                continue
+            finally:
+                self.scheduler.end(benefactor_id)
+            try:
+                self._verify(placement, data)
+            except ChunkIntegrityError as exc:
+                last_error = exc
+                self.scheduler.mark_failed(benefactor_id)
+                if position + 1 < len(candidates):
+                    with self._lock:
+                        self.replica_fallbacks += 1
+                continue
+            self.scheduler.mark_alive(benefactor_id)
+            with self._lock:
+                self.chunks_fetched += 1
+                self.bytes_fetched += len(data)
             return data
         raise ReadFailedError(
-            f"no replica of chunk {placement.ref.chunk_id} is reachable"
+            f"no replica of chunk {placement.ref.chunk_id} is usable"
         ) from last_error
 
-    # -- public reads ------------------------------------------------------------
-    def read_all(self) -> bytes:
-        """Fetch the whole file in chunk-map order."""
-        parts: List[bytes] = []
-        for placement in self.chunk_map:
-            parts.append(self._fetch_chunk(placement))
-        data = b"".join(parts)
-        if len(data) != self.size:
-            raise ReadFailedError(
-                f"reassembled size {len(data)} does not match metadata size {self.size}"
+    # -- pipelined dispatch ---------------------------------------------------
+    def _store_locked(self, index: int, data: bytes) -> None:
+        self._cache[index] = data
+        while len(self._cache) > self._cache_limit:
+            del self._cache[next(iter(self._cache))]
+
+    def _reap_completed_locked(self) -> None:
+        """Move finished prefetches into the cache, freeing window slots.
+
+        Without this, futures whose index is never consumed (the caller
+        sought past a prefetched region) would occupy the window forever and
+        silently disable all further prefetch.  Failed prefetches are simply
+        dropped: the consumer re-fetches on demand and surfaces the error.
+        """
+        done = [i for i, f in self._inflight.items() if f.done()]
+        for index in done:
+            future = self._inflight.pop(index)
+            try:
+                data = future.result()
+            except BaseException:  # noqa: BLE001 - deferred to on-demand fetch
+                continue
+            self._store_locked(index, data)
+
+    def _schedule(self, index: int) -> bool:
+        """Dispatch an asynchronous fetch for placement ``index``.
+
+        Returns False only when the in-flight window is full; an index that
+        is already cached or in flight counts as satisfied.
+        """
+        with self._lock:
+            if index in self._cache or index in self._inflight:
+                return True
+            self._reap_completed_locked()
+            if len(self._inflight) >= self._window:
+                return False
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.parallelism, thread_name_prefix="read"
+                )
+            self._inflight[index] = self._executor.submit(
+                self._fetch_chunk, self._placements[index]
             )
+            return True
+
+    def _chunk(self, index: int, retain: bool) -> bytes:
+        """Bytes of placement ``index``: cache, in-flight future, or sync fetch."""
+        with self._lock:
+            data = self._cache.get(index)
+            if data is not None:
+                self.cache_hits += 1
+                if not retain:
+                    del self._cache[index]
+                return data
+            future = self._inflight.get(index)
+        if future is not None:
+            try:
+                data = future.result()
+            finally:
+                with self._lock:
+                    self._inflight.pop(index, None)
+                    # A concurrent reap may have cached the result already.
+                    if not retain:
+                        self._cache.pop(index, None)
+        else:
+            data = self._fetch_chunk(self._placements[index])
+        if retain:
+            with self._lock:
+                self._store_locked(index, data)
         return data
 
+    def _pipeline_ahead(self, indices: Sequence[int], position: int) -> None:
+        """Keep the in-flight window full starting at ``indices[position]``."""
+        if self.parallelism <= 1:
+            return
+        for ahead in indices[position:position + self._window]:
+            if not self._schedule(ahead):
+                break
+
+    def _drain(self) -> None:
+        """Cancel outstanding fetches and retire the executor."""
+        with self._lock:
+            inflight = list(self._inflight.values())
+            self._inflight.clear()
+            executor, self._executor = self._executor, None
+        for future in inflight:
+            future.cancel()
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def close(self) -> None:
+        """Release worker threads (safe to call repeatedly; reads may follow)."""
+        self._drain()
+
+    # -- public reads ------------------------------------------------------------
+    def read_iter(self) -> Iterator[bytes]:
+        """Stream the file chunk-by-chunk in chunk-map order.
+
+        Memory stays bounded by the in-flight window, so restart-sized images
+        never need to be buffered whole.  Raises :class:`ReadFailedError` at
+        the end of iteration when the reassembled size does not match the
+        version's metadata size.
+        """
+        indices = list(range(len(self._placements)))
+        total = 0
+        try:
+            for position, index in enumerate(indices):
+                self._pipeline_ahead(indices, position)
+                data = self._chunk(index, retain=False)
+                total += len(data)
+                yield data
+        finally:
+            self._drain()
+        if total != self.size:
+            raise ReadFailedError(
+                f"reassembled size {total} does not match metadata size {self.size}"
+            )
+
+    def read_all(self) -> bytes:
+        """Fetch the whole file in chunk-map order."""
+        return b"".join(self.read_iter())
+
     def read_range(self, offset: int, length: int) -> bytes:
-        """Fetch an arbitrary byte range (used by the FS facade)."""
+        """Fetch an arbitrary byte range (used by the FS facade).
+
+        Chunks are retained in the reader's cache, so a sequential scan in
+        sub-chunk granularity fetches every chunk exactly once.
+        """
         if offset < 0:
             raise ValueError("offset must be non-negative")
         if length <= 0 or offset >= self.size:
             return b""
         length = min(length, self.size - offset)
-        placements = self.chunk_map.covering(offset, length)
+        end = offset + length
+        indices = self.chunk_map.covering_indices(offset, length)
         parts: List[bytes] = []
-        for placement in placements:
-            data = self._fetch_chunk(placement)
-            start = max(offset - placement.ref.offset, 0)
-            end = min(offset + length - placement.ref.offset, placement.ref.length)
-            parts.append(data[start:end])
+        for position, index in enumerate(indices):
+            self._pipeline_ahead(indices, position)
+            data = self._chunk(index, retain=True)
+            ref = self._placements[index].ref
+            start = max(offset - ref.offset, 0)
+            stop = min(end - ref.offset, ref.length)
+            parts.append(data[start:stop])
         return b"".join(parts)
+
+    def prefetch(self, offset: int, length: int) -> None:
+        """Asynchronously warm the chunk cache for ``[offset, offset+length)``.
+
+        Backs the FS facade's read-ahead: fetches for upcoming chunks are
+        dispatched to worker threads (one even under ``read_parallelism=1``)
+        while the caller consumes the current range.  Stops silently when the
+        in-flight window is full; never blocks.
+        """
+        if length <= 0 or offset >= self.size or not self._placements:
+            return
+        length = min(length, self.size - offset)
+        for index in self.chunk_map.covering_indices(offset, length):
+            if not self._schedule(index):
+                break

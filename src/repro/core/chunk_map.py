@@ -9,6 +9,7 @@ replica placements used by the background replication service (section IV.A,
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
@@ -63,6 +64,7 @@ class ChunkMap:
 
     def _sort(self) -> None:
         self._placements.sort(key=lambda p: p.ref.offset)
+        self._starts = [p.ref.offset for p in self._placements]
 
     # -- construction -----------------------------------------------------
     def append(self, ref: ChunkRef, benefactors: Sequence[BenefactorId] = ()) -> ChunkPlacement:
@@ -118,15 +120,29 @@ class ChunkMap:
     def placements_for(self, chunk_id: ChunkId) -> List[ChunkPlacement]:
         return [p for p in self._placements if p.ref.chunk_id == chunk_id]
 
-    def covering(self, offset: int, length: int) -> List[ChunkPlacement]:
-        """Placements overlapping the byte range ``[offset, offset+length)``."""
-        if length <= 0:
+    def covering_indices(self, offset: int, length: int) -> List[int]:
+        """Indices (iteration order) of placements overlapping
+        ``[offset, offset+length)``; O(log n + k) on offset-sorted maps."""
+        if length <= 0 or not self._placements:
             return []
         end = offset + length
-        return [
-            p for p in self._placements
-            if p.ref.offset < end and p.ref.end > offset
-        ]
+        first = bisect_right(self._starts, offset)
+        # Step back over placements straddling ``offset`` (one, for a map
+        # that tiles the file contiguously).
+        while first > 0 and self._placements[first - 1].ref.end > offset:
+            first -= 1
+        indices: List[int] = []
+        for index in range(first, len(self._placements)):
+            ref = self._placements[index].ref
+            if ref.offset >= end:
+                break
+            if ref.end > offset:
+                indices.append(index)
+        return indices
+
+    def covering(self, offset: int, length: int) -> List[ChunkPlacement]:
+        """Placements overlapping the byte range ``[offset, offset+length)``."""
+        return [self._placements[i] for i in self.covering_indices(offset, length)]
 
     def is_contiguous(self) -> bool:
         """True when placements tile the file with no gaps or overlaps."""

@@ -2,8 +2,12 @@
 
 A handle adapts POSIX-style small reads/writes to the storage system's
 megabyte-chunk granularity (section IV.E): writes are buffered and streamed
-into the underlying write session, reads are served from a read-ahead buffer
-that fetches ahead of the application's position.
+into the underlying write session; reads are served from the reader's chunk
+cache, and after every read the next ``read_ahead`` bytes are prefetched
+*asynchronously* — fetches for upcoming chunks run on reader worker threads
+while the application consumes the current range, so a sequential scan never
+waits for a chunk that read-ahead already started and never re-fetches a
+chunk it partially consumed.
 """
 
 from __future__ import annotations
@@ -43,9 +47,6 @@ class StdchkFileHandle:
         self._read_ahead = max(read_ahead, 0)
         self._position = 0
         self._closed = False
-        #: Read-ahead buffer: bytes covering [_buffer_offset, _buffer_offset + len).
-        self._buffer = b""
-        self._buffer_offset = 0
 
     # -- state ----------------------------------------------------------------
     def _require_open(self) -> None:
@@ -78,14 +79,13 @@ class StdchkFileHandle:
         return written
 
     # -- reading --------------------------------------------------------------------
-    def _fill_buffer(self, offset: int, length: int) -> None:
-        """Fetch ``length`` bytes (plus read-ahead) starting at ``offset``."""
-        fetch_length = max(length, self._read_ahead)
-        self._buffer = self._reader.read_range(offset, fetch_length)
-        self._buffer_offset = offset
-
     def read(self, size: int = -1) -> bytes:
-        """Read ``size`` bytes from the current position (-1 = to EOF)."""
+        """Read ``size`` bytes from the current position (-1 = to EOF).
+
+        The reader retains fetched chunks in its bounded cache, so repeated
+        sub-chunk reads of a sequential scan fetch each chunk exactly once;
+        the next ``read_ahead`` bytes are then prefetched asynchronously.
+        """
         self._require_open()
         if not self.readable:
             raise InvalidFileModeError(f"{self.path} is open write-only")
@@ -93,21 +93,10 @@ class StdchkFileHandle:
             size = max(self._reader.size - self._position, 0)
         if size == 0:
             return b""
-        # Serve from the read-ahead buffer when it covers the request.
-        buffer_end = self._buffer_offset + len(self._buffer)
-        if not (self._buffer_offset <= self._position and
-                self._position + min(size, 1) <= buffer_end):
-            self._fill_buffer(self._position, size)
-            buffer_end = self._buffer_offset + len(self._buffer)
-        start = self._position - self._buffer_offset
-        data = self._buffer[start:start + size]
-        if len(data) < size and buffer_end < self._reader.size:
-            # The request exceeded the buffered window: fetch the remainder.
-            remainder = self._reader.read_range(
-                self._position + len(data), size - len(data)
-            )
-            data += remainder
+        data = self._reader.read_range(self._position, size)
         self._position += len(data)
+        if self._read_ahead > 0:
+            self._reader.prefetch(self._position, self._read_ahead)
         return data
 
     def seek(self, offset: int, whence: int = 0) -> int:
@@ -138,6 +127,8 @@ class StdchkFileHandle:
             return
         if self.writable and self._write_session is not None:
             self._write_session.close()
+        if self._reader is not None:
+            self._reader.close()
         self._closed = True
 
     def abort(self) -> None:
@@ -146,6 +137,8 @@ class StdchkFileHandle:
             return
         if self.writable and self._write_session is not None:
             self._write_session.abort()
+        if self._reader is not None:
+            self._reader.close()
         self._closed = True
 
     def __enter__(self) -> "StdchkFileHandle":

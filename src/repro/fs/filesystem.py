@@ -9,7 +9,7 @@ most ``readdir``/``getattr`` calls are answered locally.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.client.proxy import ClientProxy
 from repro.exceptions import (
@@ -93,6 +93,15 @@ class StdchkFilesystem:
             return handle.read()
         finally:
             self.close(handle)
+
+    def stream_file(self, path: str) -> Iterator[bytes]:
+        """Stream ``path`` chunk-by-chunk without buffering it whole.
+
+        The generator's memory footprint stays bounded by the reader's
+        in-flight window — the right call for restart-sized images piped
+        straight into the restarting process.
+        """
+        return self.client.read_file_iter(path)
 
     # -- namespace calls (getattr / readdir / unlink / mkdir) ------------------------
     def stat(self, path: str) -> Dict[str, object]:

@@ -177,12 +177,15 @@ class StdchkPool:
                spool_dir: Optional[str] = None,
                push_parallelism: Optional[int] = None,
                max_inflight_chunks: Optional[int] = None,
-               ack_batch_size: Optional[int] = None) -> ClientProxy:
+               ack_batch_size: Optional[int] = None,
+               read_parallelism: Optional[int] = None,
+               max_inflight_reads: Optional[int] = None) -> ClientProxy:
         """Create a client proxy attached to this pool.
 
         The parallel data-path knobs can be overridden per client without
-        building a whole config: ``push_parallelism`` (worker threads per
-        session), ``max_inflight_chunks`` (in-flight window bound) and
+        building a whole config: ``push_parallelism`` / ``read_parallelism``
+        (worker threads per session/reader), ``max_inflight_chunks`` /
+        ``max_inflight_reads`` (in-flight window bounds) and
         ``ack_batch_size`` (placement-ack batching toward the manager).
         """
         effective = config if config is not None else self.config
@@ -193,6 +196,10 @@ class StdchkPool:
             overrides["max_inflight_chunks"] = max_inflight_chunks
         if ack_batch_size is not None:
             overrides["ack_batch_size"] = ack_batch_size
+        if read_parallelism is not None:
+            overrides["read_parallelism"] = read_parallelism
+        if max_inflight_reads is not None:
+            overrides["max_inflight_reads"] = max_inflight_reads
         if overrides:
             effective = effective.with_overrides(**overrides)
         proxy = ClientProxy(
@@ -325,12 +332,38 @@ class TcpDeployment:
             benefactor.register_with(self.manager_address, advertised_address=bound)
         return report
 
+    def kill_benefactor(self, benefactor_id: str) -> None:
+        """Crash one benefactor abruptly while traffic may be in flight.
+
+        The node stops serving (pooled connections observe
+        ``BenefactorOfflineError``, fresh connections are refused) and its
+        TCP endpoint is torn down; the stored chunks survive in the store
+        object, matching an owner-reclaimed desktop rather than a disk loss.
+        """
+        for benefactor in self.benefactors:
+            if benefactor.benefactor_id == benefactor_id:
+                benefactor.go_offline()
+                self.transport.unregister(benefactor.address)
+                return
+        raise KeyError(f"unknown benefactor {benefactor_id!r}")
+
     def client(self, client_id: str = "tcp-client",
                config: Optional[StdchkConfig] = None,
-               push_parallelism: Optional[int] = None) -> ClientProxy:
+               push_parallelism: Optional[int] = None,
+               read_parallelism: Optional[int] = None) -> ClientProxy:
         effective = config if config is not None else self.config
+        overrides = {}
         if push_parallelism is not None:
-            effective = effective.with_overrides(push_parallelism=push_parallelism)
+            overrides["push_parallelism"] = push_parallelism
+        if read_parallelism is not None:
+            overrides["read_parallelism"] = read_parallelism
+        if overrides:
+            effective = effective.with_overrides(**overrides)
+        # Concurrent fetches against one benefactor must not be capped by the
+        # socket pool: grow it to the larger of the client's two windows.
+        self.transport.ensure_pool_capacity(
+            max(effective.effective_inflight_window, effective.effective_read_window)
+        )
         return ClientProxy(
             client_id=client_id,
             transport=self.transport,

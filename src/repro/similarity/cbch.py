@@ -89,29 +89,49 @@ class ContentBasedCompareByHash(SimilarityDetector):
 
     # -- boundary detection --------------------------------------------------
     def _boundaries_overlap(self, image: bytes) -> List[int]:
-        """Boundary offsets using a byte-by-byte rolling window."""
+        """Boundary offsets using a byte-by-byte rolling window.
+
+        This is the hot loop of the overlap regime (the paper measures it at
+        ≈1 MB/s): every byte of the image rolls the hash once.  The roll
+        arithmetic is inlined over a ``memoryview`` with every attribute
+        hoisted into locals — the boundaries produced are byte-identical to
+        driving :class:`~repro.util.hashing.RollingHash` step by step.
+        """
         size = len(image)
-        if size < self.window_size:
+        window_size = self.window_size
+        if size < window_size:
             return [size] if size else []
+        roller = RollingHash(window_size)
+        base = roller.base
+        modulus = roller.modulus
+        high_power = pow(base, window_size - 1, modulus)
         mask = (1 << self.boundary_bits) - 1
-        roller = RollingHash(self.window_size)
+        min_chunk = self.min_chunk
+        max_chunk = self.max_chunk
+        data = memoryview(image)
         boundaries: List[int] = []
+        append = boundaries.append
+        value = 0
+        for byte in data[:window_size]:
+            value = (value * base + byte) % modulus
         last_boundary = 0
-        for i in range(self.window_size):
-            roller.push(image[i])
-        position = self.window_size  # exclusive end of the current window
+        position = window_size  # exclusive end of the current window
         while True:
             chunk_len = position - last_boundary
-            force_cut = bool(self.max_chunk) and chunk_len >= self.max_chunk
-            if ((roller.value & mask) == 0 and chunk_len >= self.min_chunk) or force_cut:
-                boundaries.append(position)
+            if ((value & mask) == 0 and chunk_len >= min_chunk) or (
+                max_chunk and chunk_len >= max_chunk
+            ):
+                append(position)
                 last_boundary = position
             if position >= size:
                 break
-            roller.roll(image[position], image[position - self.window_size])
+            value = (
+                (value - data[position - window_size] * high_power) * base
+                + data[position]
+            ) % modulus
             position += 1
         if not boundaries or boundaries[-1] != size:
-            boundaries.append(size)
+            append(size)
         return boundaries
 
     def _window_hashes_vectorized(self, image: bytes):

@@ -165,6 +165,13 @@ class _ConnectionPool:
             self._total -= 1
             self._cond.notify()
 
+    def raise_limit(self, limit: int) -> None:
+        """Grow the pool's connection bound (never shrinks a live pool)."""
+        with self._cond:
+            if limit > self.limit:
+                self.limit = limit
+                self._cond.notify_all()
+
     def close(self) -> None:
         with self._cond:
             self._closed = True
@@ -238,6 +245,22 @@ class TcpTransport(Transport):
             pool.close()
         for server in servers:
             server.stop()
+
+    def ensure_pool_capacity(self, limit: int) -> None:
+        """Guarantee at least ``limit`` concurrent connections per endpoint.
+
+        Parallel readers and pushers size the transport to their in-flight
+        window so pooled sockets never cap the configured parallelism; pools
+        already created are grown in place, future pools start at the new
+        bound.
+        """
+        with self._lock:
+            if limit <= self._pool_size:
+                return
+            self._pool_size = limit
+            pools = list(self._pools.values())
+        for pool in pools:
+            pool.raise_limit(limit)
 
     # -- client-side calls ----------------------------------------------------------
     def _pool(self, address: str) -> _ConnectionPool:

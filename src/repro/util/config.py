@@ -87,6 +87,15 @@ class StdchkConfig:
     #: Bound on chunks submitted but not yet stored (the in-flight window).
     #: 0 derives ``2 * push_parallelism`` so every worker stays pipelined.
     max_inflight_chunks: int = 0
+    #: Worker threads fetching chunks concurrently per reader.  1 keeps the
+    #: historical fully-synchronous read path (one RPC at a time); higher
+    #: values overlap integrity verification and network transfer so restart
+    #: reads exploit the striping the same way pipelined writes do.
+    read_parallelism: int = 1
+    #: Bound on chunk fetches dispatched but not yet consumed (the read-side
+    #: in-flight window).  0 derives ``2 * read_parallelism`` so every reader
+    #: worker stays pipelined.
+    max_inflight_reads: int = 0
     #: Client->manager placement acknowledgements are batched in groups of
     #: this many chunks (one ``put_chunks_ack`` transaction per batch).
     #: 0 disables mid-session acks entirely, preserving the paper's
@@ -162,6 +171,14 @@ class StdchkConfig:
             raise ConfigurationError(
                 "max_inflight_chunks must be at least push_parallelism"
             )
+        if self.read_parallelism <= 0:
+            raise ConfigurationError("read_parallelism must be positive")
+        if self.max_inflight_reads < 0:
+            raise ConfigurationError("max_inflight_reads must be non-negative")
+        if 0 < self.max_inflight_reads < self.read_parallelism:
+            raise ConfigurationError(
+                "max_inflight_reads must be at least read_parallelism"
+            )
         if self.ack_batch_size < 0:
             raise ConfigurationError("ack_batch_size must be non-negative")
         if self.transport_pool_size <= 0:
@@ -195,6 +212,13 @@ class StdchkConfig:
         if self.max_inflight_chunks > 0:
             return self.max_inflight_chunks
         return 2 * self.push_parallelism
+
+    @property
+    def effective_read_window(self) -> int:
+        """The in-flight chunk-fetch bound actually applied by the read path."""
+        if self.max_inflight_reads > 0:
+            return self.max_inflight_reads
+        return 2 * self.read_parallelism
 
     def with_overrides(self, **kwargs) -> "StdchkConfig":
         """Return a copy with ``kwargs`` replaced and re-validated."""

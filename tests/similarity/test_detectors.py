@@ -148,6 +148,66 @@ class TestCbCH:
         assert [c.offset for c in fast.chunks] == [c.offset for c in slow.chunks]
         assert [c.chunk_id for c in fast.chunks] == [c.chunk_id for c in slow.chunks]
 
+    @staticmethod
+    def _boundaries_overlap_reference(detector, image):
+        """The pre-optimization overlap scan, kept verbatim as the oracle for
+        the inlined hot loop in ``ContentBasedCompareByHash``."""
+        from repro.util.hashing import RollingHash
+
+        size = len(image)
+        if size < detector.window_size:
+            return [size] if size else []
+        mask = (1 << detector.boundary_bits) - 1
+        roller = RollingHash(detector.window_size)
+        boundaries = []
+        last_boundary = 0
+        for i in range(detector.window_size):
+            roller.push(image[i])
+        position = detector.window_size
+        while True:
+            chunk_len = position - last_boundary
+            force_cut = bool(detector.max_chunk) and chunk_len >= detector.max_chunk
+            if ((roller.value & mask) == 0 and chunk_len >= detector.min_chunk) or force_cut:
+                boundaries.append(position)
+                last_boundary = position
+            if position >= size:
+                break
+            roller.roll(image[position], image[position - detector.window_size])
+            position += 1
+        if not boundaries or boundaries[-1] != size:
+            boundaries.append(size)
+        return boundaries
+
+    @pytest.mark.parametrize("window_size,bits,min_chunk,max_chunk", [
+        (16, 6, 0, 0),
+        (20, 8, 0, 0),
+        (16, 5, 512, 0),
+        (16, 4, 0, 2048),
+        (32, 7, 256, 4096),
+        (8, 3, 0, 0),
+    ])
+    def test_optimized_overlap_boundaries_byte_identical(
+            self, window_size, bits, min_chunk, max_chunk):
+        detector = ContentBasedCompareByHash(
+            window_size, bits, overlap=True,
+            min_chunk=min_chunk, max_chunk=max_chunk,
+        )
+        for seed, size in ((11, 48 * 1024), (12, 16 * 1024 + 7), (13, window_size)):
+            image = random_bytes(size, seed=seed)
+            assert detector._boundaries_overlap(image) == (
+                self._boundaries_overlap_reference(detector, image)
+            )
+        assert detector._boundaries_overlap(b"") == []
+        assert detector._boundaries_overlap(b"x" * (window_size - 1)) == [window_size - 1]
+
+    @given(data=st.binary(min_size=0, max_size=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_optimized_overlap_boundaries_property(self, data):
+        detector = ContentBasedCompareByHash(8, 4, overlap=True)
+        assert detector._boundaries_overlap(data) == (
+            self._boundaries_overlap_reference(detector, data)
+        )
+
     def test_parameter_validation(self):
         with pytest.raises(ValueError):
             ContentBasedCompareByHash(0, 8)
