@@ -9,10 +9,22 @@ manager's liveness answers.
 
 from repro.benefactor.chunk_store import ChunkStore, DiskChunkStore, MemoryChunkStore
 from repro.benefactor.benefactor import Benefactor
+from repro.benefactor.maintenance import (
+    AntiEntropyService,
+    BenefactorMaintenance,
+    GossipService,
+    HeartbeatService,
+    compute_inventory_digest,
+)
 
 __all__ = [
     "ChunkStore",
     "DiskChunkStore",
     "MemoryChunkStore",
     "Benefactor",
+    "AntiEntropyService",
+    "BenefactorMaintenance",
+    "GossipService",
+    "HeartbeatService",
+    "compute_inventory_digest",
 ]

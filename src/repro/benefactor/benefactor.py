@@ -15,15 +15,24 @@ additionally wipes a memory-backed store, modelling loss of node-local data.
 
 from __future__ import annotations
 
+import random
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.benefactor.chunk_store import ChunkStore, MemoryChunkStore
+from repro.benefactor.maintenance.digest import (
+    InventoryDigest,
+    compute_inventory_digest,
+)
+from repro.benefactor.maintenance.peers import PeerDirectory, RepairTask
 from repro.core.chunk import Chunk, ChunkId
 from repro.exceptions import BenefactorOfflineError, ChunkNotFoundError
 from repro.transport.base import Endpoint, Transport
 from repro.util.clock import Clock, SystemClock
 from repro.util.units import GiB
+
+#: Bound on placement hints returned in one gossip reply.
+GOSSIP_REPLY_HINTS = 64
 
 
 class Benefactor(Endpoint):
@@ -43,7 +52,21 @@ class Benefactor(Endpoint):
         self.transport = transport
         self.clock = clock if clock is not None else SystemClock()
         self.address = address if address is not None else f"benefactor://{benefactor_id}"
+        #: The address peers should dial; ``register_with`` overrides it with
+        #: the bound socket on TCP deployments.
+        self.advertised_address = self.address
         self.online = True
+        #: Peer-level soft state (membership, liveness, placement hints)
+        #: accumulated from heartbeat refreshes and gossip exchanges.
+        self.peers = PeerDirectory(benefactor_id)
+        #: Chunks queued for the anti-entropy pass to re-replicate, deduped
+        #: by chunk id (a second report merges its exclusions).
+        self._repair_queue: Dict[ChunkId, RepairTask] = {}
+        self._repair_lock = threading.Lock()
+        #: Inventory digest cached against the store's mutation counter.
+        self._digest_cache: Optional[Tuple[int, InventoryDigest]] = None
+        #: Deterministic per-node stream for gossip-reply sampling.
+        self._gossip_rng = random.Random(benefactor_id)
         #: Counters exposed for tests and benchmarks.
         self.stats: Dict[str, int] = {
             "puts": 0,
@@ -52,6 +75,8 @@ class Benefactor(Endpoint):
             "replications_out": 0,
             "bytes_in": 0,
             "bytes_out": 0,
+            "gossip_in": 0,
+            "checksum_inventories": 0,
         }
         # Parallel pushers hit one benefactor from several client threads at
         # once; the chunk store serializes internally, the stats need their
@@ -112,6 +137,7 @@ class Benefactor(Endpoint):
         """
         self._require_online()
         address = advertised_address if advertised_address is not None else self.address
+        self.advertised_address = address
         answer = self.transport.call(
             manager_address,
             "register_benefactor",
@@ -123,13 +149,118 @@ class Benefactor(Endpoint):
         )
         result: Dict[str, object] = {"registered": answer, "reconciled": None}
         if reconcile:
-            result["reconciled"] = self.transport.call(
-                manager_address,
-                "reconcile_inventory",
-                benefactor_id=self.benefactor_id,
-                chunk_ids=self.store.chunk_ids(),
-            )
+            result["reconciled"] = self.reconcile_with(manager_address)
         return result
+
+    def reconcile_with(self, manager_address: str) -> Dict[str, object]:
+        """Ship the full chunk inventory and absorb the manager's handoff.
+
+        The reconcile answer pre-seeds decentralized repair: chunks the
+        manager knows are under-replicated (and that this node holds) are
+        queued for the anti-entropy pass, and local copies the corruption
+        ledger attributes to this node are purged so repair pulls a fresh
+        replica from a good holder instead of trusting bad bytes.
+        """
+        self._require_online()
+        answer = self.transport.call(
+            manager_address,
+            "reconcile_inventory",
+            benefactor_id=self.benefactor_id,
+            chunk_ids=self.store.chunk_ids(),
+        )
+        for chunk_id in answer.get("purge", ()):
+            self.store.delete(chunk_id)
+        for hint in answer.get("repair", ()):
+            self.enqueue_repair(
+                str(hint["chunk_id"]),
+                reason=str(hint.get("reason", "under_replicated")),
+                exclude=hint.get("exclude", ()),
+            )
+        return answer
+
+    # -- inventory summaries ----------------------------------------------------
+    def _current_digest(self) -> InventoryDigest:
+        mutations = self.store.mutation_count
+        cached = self._digest_cache
+        if cached is None or cached[0] != mutations:
+            cached = (mutations, compute_inventory_digest(self.store.chunk_ids()))
+            self._digest_cache = cached
+        return cached[1]
+
+    def inventory_digest(self) -> str:
+        """Root of the Merkle-style inventory digest (heartbeat payload)."""
+        self._require_online()
+        return self._current_digest().root
+
+    def checksum_inventory(self) -> Dict[ChunkId, str]:
+        """``chunk_id -> payload digest`` map served to anti-entropy peers."""
+        self._require_online()
+        self._bump("checksum_inventories")
+        return self.store.checksums()
+
+    # -- gossip -----------------------------------------------------------------
+    def self_record(self) -> Dict[str, object]:
+        """This node's own membership record in gossip wire form."""
+        return {
+            "peer_id": self.benefactor_id,
+            "address": self.advertised_address,
+            "last_seen": self.clock.now(),
+            "online": self.online,
+            "free_space": self.store.free_space,
+            "inventory_digest": self._current_digest().root,
+        }
+
+    def gossip(self, sender: Dict[str, object],
+               peers: Sequence[Dict[str, object]],
+               placements: Dict[str, Sequence[str]]) -> Dict[str, object]:
+        """Handle one incoming gossip exchange (peer-facing RPC).
+
+        Absorbs the sender's membership records and placement hints, then
+        replies with this node's own view so knowledge flows both ways in a
+        single round trip.
+        """
+        self._require_online()
+        self._bump("gossip_in")
+        self.peers.observe(
+            str(sender["peer_id"]),
+            str(sender["address"]),
+            now=self.clock.now(),
+            free_space=int(sender.get("free_space", 0)),
+            inventory_digest=str(sender.get("inventory_digest", "")),
+        )
+        self.peers.merge_peer_records(peers)
+        self.peers.merge_hints(placements)
+        reply_peers = self.peers.export_records()
+        reply_peers.append(self.self_record())
+        return {
+            "peers": reply_peers,
+            "placements": self.peers.hint_sample(self._gossip_rng,
+                                                 GOSSIP_REPLY_HINTS),
+        }
+
+    # -- repair queue -----------------------------------------------------------
+    def enqueue_repair(self, chunk_id: ChunkId,
+                       reason: str = "under_replicated",
+                       exclude: Sequence[str] = ()) -> None:
+        """Queue a chunk for the anti-entropy pass to re-replicate."""
+        with self._repair_lock:
+            task = self._repair_queue.get(chunk_id)
+            if task is None:
+                self._repair_queue[chunk_id] = RepairTask(
+                    chunk_id=chunk_id, reason=reason, exclude=set(exclude)
+                )
+            else:
+                task.exclude.update(exclude)
+
+    def drain_repairs(self, limit: int) -> List[RepairTask]:
+        """Pop up to ``limit`` queued repair tasks (FIFO)."""
+        with self._repair_lock:
+            taken = list(self._repair_queue)[:max(limit, 0)]
+            return [self._repair_queue.pop(chunk_id) for chunk_id in taken]
+
+    def pending_repairs(self) -> int:
+        with self._repair_lock:
+            return len(self._repair_queue)
 
     # -- data path ----------------------------------------------------------------
     def put_chunk(self, chunk_id: ChunkId, data: bytes) -> Dict[str, object]:

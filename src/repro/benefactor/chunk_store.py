@@ -17,6 +17,7 @@ from urllib.parse import quote, unquote
 
 from repro.core.chunk import Chunk, ChunkId
 from repro.exceptions import ChunkNotFoundError, StoreFullError
+from repro.util.hashing import chunk_digest
 
 
 class ChunkStore(ABC):
@@ -27,6 +28,10 @@ class ChunkStore(ABC):
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._lock = threading.RLock()
+        #: Monotonic count of successful puts/deletes.  The benefactor's
+        #: inventory digest is cached against this counter, so heartbeats on
+        #: an unchanged store never re-hash the full inventory.
+        self._mutations = 0
 
     # -- interface ---------------------------------------------------------
     @abstractmethod
@@ -69,6 +74,7 @@ class ChunkStore(ABC):
                     f"incoming={chunk.size}, capacity={self.capacity}"
                 )
             self._write(chunk.chunk_id, chunk.data)
+            self._mutations += 1
 
     def get(self, chunk_id: ChunkId) -> Chunk:
         with self._lock:
@@ -82,6 +88,7 @@ class ChunkStore(ABC):
             if not self._contains(chunk_id):
                 return False
             self._delete(chunk_id)
+            self._mutations += 1
             return True
 
     def contains(self, chunk_id: ChunkId) -> bool:
@@ -106,6 +113,33 @@ class ChunkStore(ABC):
     def chunk_count(self) -> int:
         with self._lock:
             return len(self._chunk_ids())
+
+    @property
+    def mutation_count(self) -> int:
+        """Successful puts + deletes since construction (digest-cache key)."""
+        with self._lock:
+            return self._mutations
+
+    def checksum(self, chunk_id: ChunkId) -> str:
+        """Hex payload digest of one stored chunk (anti-entropy probe)."""
+        with self._lock:
+            if not self._contains(chunk_id):
+                raise ChunkNotFoundError(f"chunk not stored here: {chunk_id}")
+            return chunk_digest(self._read(chunk_id))
+
+    def checksums(self) -> Dict[ChunkId, str]:
+        """``chunk_id -> hex payload digest`` for the whole inventory.
+
+        This is what a benefactor ships to a peer during an anti-entropy
+        comparison: for content-addressed chunks the digest doubles as an
+        integrity proof (the id embeds the expected value), for
+        position-addressed chunks it at least detects divergence.
+        """
+        with self._lock:
+            return {
+                chunk_id: chunk_digest(self._read(chunk_id))
+                for chunk_id in self._chunk_ids()
+            }
 
 
 class MemoryChunkStore(ChunkStore):

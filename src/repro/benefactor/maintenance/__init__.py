@@ -1,0 +1,90 @@
+"""Decentralized replica maintenance services for benefactor nodes.
+
+Three tick-driven services turn benefactors from passive chunk servers into
+active participants in replica health:
+
+* :class:`HeartbeatService` — digest-carrying heartbeats; the full chunk
+  inventory travels only when the Merkle-style digest diverges from what
+  the manager last reconciled.
+* :class:`GossipService` — epidemic exchange of membership/liveness and
+  placement hints between benefactors.
+* :class:`AntiEntropyService` — periodic checksum comparison with a random
+  peer plus direct re-replication of missing or corrupt replicas,
+  re-attaching orphaned-but-present copies instead of re-copying them.
+
+:class:`BenefactorMaintenance` bundles the three per node in the order a
+maintenance round should run them (learn → spread → heal).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.benefactor.maintenance.anti_entropy import (
+    AntiEntropyReport,
+    AntiEntropyService,
+)
+from repro.benefactor.maintenance.digest import (
+    DEFAULT_BUCKETS,
+    InventoryDigest,
+    bucket_index,
+    compute_inventory_digest,
+)
+from repro.benefactor.maintenance.gossip import GossipRound, GossipService
+from repro.benefactor.maintenance.heartbeat import HeartbeatService
+from repro.benefactor.maintenance.peers import PeerDirectory, PeerInfo, RepairTask
+
+
+class BenefactorMaintenance:
+    """The per-benefactor maintenance stack, run as one unit per tick."""
+
+    def __init__(self, benefactor, manager_address: str,
+                 replication_target: int = 2, gossip_fanout: int = 2,
+                 gossip_hint_sample: int = 64, max_repairs: int = 32,
+                 seed: Optional[int] = None) -> None:
+        self.benefactor = benefactor
+        self.heartbeat = HeartbeatService(benefactor, manager_address)
+        self.gossip = GossipService(
+            benefactor, fanout=gossip_fanout, hint_sample=gossip_hint_sample,
+            seed=seed,
+        )
+        self.anti_entropy = AntiEntropyService(
+            benefactor,
+            manager_address=manager_address,
+            replication_target=replication_target,
+            max_repairs=max_repairs,
+            seed=None if seed is None else seed + 1,
+        )
+
+    @property
+    def manager_address(self) -> str:
+        return self.heartbeat.manager_address
+
+    @manager_address.setter
+    def manager_address(self, address: str) -> None:
+        # A restarted TCP manager binds a fresh port; re-point both services.
+        self.heartbeat.manager_address = address
+        self.anti_entropy.manager_address = address
+
+    def run_once(self) -> AntiEntropyReport:
+        """One maintenance round: heartbeat, then gossip, then anti-entropy."""
+        self.heartbeat.run_once()
+        self.gossip.run_once()
+        return self.anti_entropy.run_once()
+
+
+__all__ = [
+    "AntiEntropyReport",
+    "AntiEntropyService",
+    "BenefactorMaintenance",
+    "DEFAULT_BUCKETS",
+    "GossipRound",
+    "GossipService",
+    "HeartbeatService",
+    "InventoryDigest",
+    "PeerDirectory",
+    "PeerInfo",
+    "RepairTask",
+    "bucket_index",
+    "compute_inventory_digest",
+]

@@ -1,0 +1,257 @@
+"""Background anti-entropy: benefactors heal replication without the manager.
+
+Each tick a benefactor does three things:
+
+1. **Drain its repair queue.**  Tasks arrive from the manager's
+   ``reconcile_inventory`` handoff (pre-seeded targets), from the gossip/
+   comparison paths below, or from peers.  For each task the node picks a
+   candidate peer that does not already hold the chunk — but *probes with*
+   ``has_chunk`` *first*: an orphaned-but-present copy (e.g. a recovered
+   node the manager dropped) is re-attached by telling the manager about
+   it, never re-copied.  Otherwise the chunk is pushed with the existing
+   ``replicate_to`` path and the new placement reported via
+   ``record_replicas``.
+
+2. **Compare checksums with one random peer.**  The peer returns its
+   ``chunk_id → payload digest`` map.  Content-addressed chunks are
+   self-verifying (the id embeds the expected digest), so a mismatch
+   pinpoints *which* side is corrupt: a corrupt local copy is deleted and
+   self-reported; a corrupt remote copy is reported to the manager's
+   corruption ledger and queued for repair from the local good copy.
+   Position-addressed chunks cannot be attributed and are only counted.
+
+3. **Scan for under-replication.**  Using the gossiped placement hints as
+   a decentralized replica count, chunks this node holds with fewer than
+   ``replication_target`` believed holders are queued for repair.
+
+All manager interaction is best-effort: with the manager down the copies
+still happen (data survives) and placements are re-attached later through
+soft-state reconciliation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.chunk import is_content_addressed
+from repro.exceptions import (
+    BenefactorOfflineError,
+    EndpointUnreachableError,
+    StdchkError,
+)
+
+#: ``sha1:<hex>`` ids embed their expected payload digest.
+_CONTENT_PREFIX = "sha1:"
+
+
+@dataclass
+class AntiEntropyReport:
+    """Outcome of one :meth:`AntiEntropyService.run_once` tick."""
+
+    repaired: int = 0
+    reattached: int = 0
+    corrupt_local: int = 0
+    corrupt_remote: int = 0
+    divergent_unattributed: int = 0
+    peers_compared: int = 0
+    repair_failures: int = 0
+    queued: int = 0
+    #: chunk ids this tick copied or re-attached (for tests/benchmarks).
+    healed_chunks: List[str] = field(default_factory=list)
+
+
+class AntiEntropyService:
+    """Tick-driven decentralized repair for one benefactor."""
+
+    def __init__(
+        self,
+        benefactor,
+        manager_address: Optional[str] = None,
+        replication_target: int = 2,
+        max_repairs: int = 32,
+        candidate_attempts: int = 3,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.benefactor = benefactor
+        self.manager_address = manager_address
+        self.replication_target = replication_target
+        self.max_repairs = max_repairs
+        #: How many distinct copy targets to try before giving up on a task
+        #: for this tick (the task is re-queued for the next one).
+        self.candidate_attempts = candidate_attempts
+        self._rng = random.Random(seed)
+        self.rounds = 0
+
+    # ------------------------------------------------------------------ tick
+    def run_once(self) -> AntiEntropyReport:
+        report = AntiEntropyReport()
+        benefactor = self.benefactor
+        if not benefactor.online:
+            return report
+        self.rounds += 1
+        self._drain_repairs(report)
+        self._compare_with_random_peer(report)
+        self._scan_under_replication(report)
+        # New work discovered above is drained immediately so a single tick
+        # makes forward progress on its own findings.
+        self._drain_repairs(report)
+        return report
+
+    # ---------------------------------------------------------- repair queue
+    def _drain_repairs(self, report: AntiEntropyReport) -> None:
+        benefactor = self.benefactor
+        budget = self.max_repairs - (report.repaired + report.reattached)
+        if budget <= 0:
+            return
+        for task in benefactor.drain_repairs(budget):
+            if not benefactor.store.contains(task.chunk_id):
+                # We no longer hold a source copy; some other holder's
+                # anti-entropy pass must repair this one.
+                continue
+            holders = benefactor.peers.holders_of(task.chunk_id)
+            holders.add(benefactor.benefactor_id)
+            if len(holders - task.exclude) >= self.replication_target:
+                continue
+            if not self._repair_chunk(task.chunk_id, task.exclude, report):
+                report.repair_failures += 1
+                # Keep trying on later ticks (peers may come back online).
+                benefactor.enqueue_repair(task.chunk_id, reason=task.reason,
+                                          exclude=task.exclude)
+
+    def _repair_chunk(self, chunk_id: str, exclude: Set[str],
+                      report: AntiEntropyReport) -> bool:
+        """Place one more replica of ``chunk_id``; True on success."""
+        benefactor = self.benefactor
+        directory = benefactor.peers
+        holders = directory.holders_of(chunk_id)
+        holders.add(benefactor.benefactor_id)
+        candidates = [
+            peer for peer in directory.peers(online_only=True)
+            if peer.peer_id not in holders and peer.peer_id not in exclude
+        ]
+        # Prefer space, break ties randomly so repairs spread across peers.
+        self._rng.shuffle(candidates)
+        candidates.sort(key=lambda peer: -peer.free_space)
+        for peer in candidates[:self.candidate_attempts]:
+            try:
+                if benefactor.transport.call(peer.address, "has_chunk",
+                                             chunk_id=chunk_id):
+                    # Orphaned-but-present copy: re-attach, don't re-copy.
+                    directory.note_holders(chunk_id, (peer.peer_id,))
+                    self._record_with_manager(peer.peer_id, [chunk_id])
+                    report.reattached += 1
+                    report.healed_chunks.append(chunk_id)
+                    return True
+                answer = benefactor.replicate_to([chunk_id], peer.address)
+            except (EndpointUnreachableError, BenefactorOfflineError):
+                directory.mark_offline(peer.peer_id)
+                continue
+            if chunk_id in answer["copied"]:
+                directory.note_holders(chunk_id, (peer.peer_id,))
+                self._record_with_manager(peer.peer_id, [chunk_id])
+                report.repaired += 1
+                report.healed_chunks.append(chunk_id)
+                return True
+        return False
+
+    def _record_with_manager(self, holder_id: str, chunk_ids: List[str]) -> None:
+        """Tell the manager about a replica we created or found (best effort)."""
+        if self.manager_address is None:
+            return
+        try:
+            self.benefactor.transport.call(
+                self.manager_address,
+                "record_replicas",
+                benefactor_id=holder_id,
+                chunk_ids=chunk_ids,
+            )
+        except StdchkError:
+            # Manager down or recovering: the holder's own soft-state
+            # reconciliation will re-attach the placement later.
+            pass
+
+    def _report_corruption(self, chunk_id: str, holder_id: str) -> None:
+        if self.manager_address is None:
+            return
+        try:
+            self.benefactor.transport.call(
+                self.manager_address,
+                "report_corrupt_chunk",
+                chunk_id=chunk_id,
+                benefactor_id=holder_id,
+                reporter=self.benefactor.benefactor_id,
+            )
+        except StdchkError:
+            pass
+
+    # ------------------------------------------------------- peer comparison
+    def _compare_with_random_peer(self, report: AntiEntropyReport) -> None:
+        benefactor = self.benefactor
+        directory = benefactor.peers
+        peers = directory.random_peers(self._rng, 1)
+        if not peers:
+            return
+        peer = peers[0]
+        try:
+            remote: Dict[str, str] = benefactor.transport.call(
+                peer.address, "checksum_inventory"
+            )
+        except (EndpointUnreachableError, BenefactorOfflineError):
+            directory.mark_offline(peer.peer_id)
+            return
+        report.peers_compared += 1
+        local = benefactor.store.checksums()
+        # The peer's inventory is itself a fresh batch of placement hints.
+        for chunk_id, remote_sum in remote.items():
+            self._judge_pair(chunk_id, local.get(chunk_id), remote_sum,
+                             peer.peer_id, report)
+        # Chunks we hold that the peer lacks: make sure the hint map knows
+        # we hold them so the under-replication scan sees a true count.
+        for chunk_id in local:
+            directory.note_holders(chunk_id, (benefactor.benefactor_id,))
+
+    def _judge_pair(self, chunk_id: str, local_sum: Optional[str],
+                    remote_sum: str, peer_id: str,
+                    report: AntiEntropyReport) -> None:
+        benefactor = self.benefactor
+        directory = benefactor.peers
+        if is_content_addressed(chunk_id) and chunk_id.startswith(_CONTENT_PREFIX):
+            expected = chunk_id[len(_CONTENT_PREFIX):]
+            if remote_sum != expected:
+                # The peer's copy is provably corrupt.
+                report.corrupt_remote += 1
+                directory.forget_holder(chunk_id, peer_id)
+                self._report_corruption(chunk_id, peer_id)
+                if local_sum == expected:
+                    # We hold a good copy: re-replicate it elsewhere.
+                    benefactor.enqueue_repair(
+                        chunk_id, reason="corrupt_peer", exclude={peer_id}
+                    )
+                    report.queued += 1
+            else:
+                directory.note_holders(chunk_id, (peer_id,))
+            if local_sum is not None and local_sum != expected:
+                # Our own copy is provably corrupt: drop and self-report.
+                report.corrupt_local += 1
+                benefactor.store.delete(chunk_id)
+                directory.forget_holder(chunk_id, benefactor.benefactor_id)
+                self._report_corruption(chunk_id, benefactor.benefactor_id)
+            return
+        # Position-addressed chunks carry no ground truth; divergence can
+        # only be surfaced, not attributed to a side.
+        directory.note_holders(chunk_id, (peer_id,))
+        if local_sum is not None and local_sum != remote_sum:
+            report.divergent_unattributed += 1
+
+    # --------------------------------------------------- under-replication scan
+    def _scan_under_replication(self, report: AntiEntropyReport) -> None:
+        benefactor = self.benefactor
+        directory = benefactor.peers
+        for chunk_id in benefactor.store.chunk_ids():
+            holders = directory.holders_of(chunk_id)
+            holders.add(benefactor.benefactor_id)
+            if len(holders) < self.replication_target:
+                benefactor.enqueue_repair(chunk_id, reason="under_replicated")
+                report.queued += 1

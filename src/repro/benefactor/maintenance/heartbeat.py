@@ -1,0 +1,104 @@
+"""Digest-carrying heartbeats: the benefactor half of soft-state liveness.
+
+Historically the pool helpers heartbeated *for* the benefactors and every
+(re)registration shipped the full chunk inventory.  This service makes the
+exchange benefactor-driven and incremental: each beat carries the node's
+Merkle-style inventory digest, and the manager's acknowledgement says
+whether the digest still matches the inventory it reconciled last — only
+then does the benefactor send the full id list again.  A manager restart
+(which forgets the soft registration) is healed transparently: the beat
+fails with ``UnknownBenefactorError`` and the service falls back to a full
+registration + reconciliation.
+
+The reconcile answer doubles as the manager's repair handoff: hints about
+under-replicated chunks this node holds are queued on the benefactor for
+the anti-entropy pass, and chunks the corruption ledger attributes to this
+node are purged locally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.exceptions import (
+    EndpointUnreachableError,
+    ManagerUnavailableError,
+    UnknownBenefactorError,
+)
+
+
+class HeartbeatService:
+    """Periodically announce one benefactor's liveness, space and digest.
+
+    Tick-driven like the manager-side services: the deployment helpers call
+    :meth:`run_once` per maintenance round, so tests stay deterministic.
+    """
+
+    def __init__(self, benefactor, manager_address: str,
+                 refresh_peers: bool = True) -> None:
+        self.benefactor = benefactor
+        self.manager_address = manager_address
+        #: Also pull the manager's benefactor list each beat to seed the
+        #: gossip peer directory (cheap bootstrap; gossip keeps it fresh).
+        self.refresh_peers = refresh_peers
+        self.beats = 0
+        self.reconciles = 0
+        self.reregistrations = 0
+
+    def run_once(self) -> Optional[Dict[str, object]]:
+        """One heartbeat (plus reconciliation when the manager asks for it).
+
+        Returns the manager's answer, or ``None`` when the benefactor is
+        offline or the manager is unreachable (soft state: a missed beat
+        just means the registry expires us a little sooner).
+        """
+        benefactor = self.benefactor
+        if not benefactor.online:
+            return None
+        try:
+            answer = benefactor.transport.call(
+                self.manager_address,
+                "heartbeat",
+                benefactor_id=benefactor.benefactor_id,
+                free_space=benefactor.free_space,
+                used_space=benefactor.used_space,
+                chunk_count=benefactor.store.chunk_count,
+                inventory_digest=benefactor.inventory_digest(),
+            )
+        except UnknownBenefactorError:
+            # A restarted manager lost the soft registration: re-register,
+            # which re-advertises the inventory and absorbs repair hints.
+            benefactor.register_with(self.manager_address,
+                                     advertised_address=benefactor.advertised_address)
+            self.reregistrations += 1
+            self.beats += 1
+            self._refresh_peers()
+            return {"acknowledged": True, "inventory_requested": False}
+        except (EndpointUnreachableError, ManagerUnavailableError):
+            return None
+        self.beats += 1
+        if answer.get("inventory_requested"):
+            benefactor.reconcile_with(self.manager_address)
+            self.reconciles += 1
+        self._refresh_peers()
+        return answer
+
+    def _refresh_peers(self) -> None:
+        if not self.refresh_peers:
+            return
+        benefactor = self.benefactor
+        try:
+            records = benefactor.transport.call(self.manager_address,
+                                                "list_benefactors")
+        except (EndpointUnreachableError, ManagerUnavailableError):
+            return
+        now = benefactor.clock.now()
+        for record in records:
+            if not record.get("online", True):
+                continue
+            benefactor.peers.observe(
+                str(record["benefactor_id"]),
+                str(record["address"]),
+                now=now,
+                free_space=int(record.get("free_space", 0)),
+            )

@@ -175,7 +175,12 @@ class ClientProxy:
 
     # -- reads ------------------------------------------------------------------------
     def open_read(self, path: str, version: Optional[int] = None) -> StripedReader:
-        """Build a reader for ``path`` (latest version by default)."""
+        """Build a reader for ``path`` (latest version by default).
+
+        Corrupt replicas discovered by the reader's verification are
+        reported to the manager's corruption ledger (``report_corrupt_chunk``)
+        so the fallback feeds repair instead of discarding the evidence.
+        """
         answer = self._manager("get_chunk_map", path=path, version=version)
         return StripedReader(
             transport=self.transport,
@@ -185,6 +190,15 @@ class ClientProxy:
             read_parallelism=self.config.read_parallelism,
             max_inflight_reads=self.config.max_inflight_reads,
             scheduler=self.replica_scheduler,
+            corruption_reporter=self._report_corrupt_chunk,
+        )
+
+    def _report_corrupt_chunk(self, chunk_id: str, benefactor_id: str) -> None:
+        self._manager(
+            "report_corrupt_chunk",
+            chunk_id=chunk_id,
+            benefactor_id=benefactor_id,
+            reporter=self.client_id,
         )
 
     def read_file(self, path: str, version: Optional[int] = None) -> bytes:

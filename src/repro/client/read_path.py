@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.core.chunk import Chunk, is_content_addressed
 from repro.core.chunk_map import ChunkMap, ChunkPlacement
@@ -133,6 +133,7 @@ class StripedReader:
         max_inflight_reads: int = 0,
         scheduler: Optional[ReplicaScheduler] = None,
         cache_chunks: int = 0,
+        corruption_reporter: Optional[Callable[[str, str], None]] = None,
     ) -> None:
         self.transport = transport
         self.chunk_map = chunk_map
@@ -140,6 +141,11 @@ class StripedReader:
         self.size = size
         self.verify_integrity = verify_integrity
         self.scheduler = scheduler if scheduler is not None else ReplicaScheduler()
+        #: Called with ``(chunk_id, benefactor_id)`` when a replica serves
+        #: bytes that fail verification, so the evidence feeds repair
+        #: (``report_corrupt_chunk``) instead of being discarded with the
+        #: fallback.  Runs on worker threads; must never raise.
+        self.corruption_reporter = corruption_reporter
         self.parallelism = max(1, read_parallelism)
         window = max_inflight_reads if max_inflight_reads > 0 else 2 * self.parallelism
         #: Bound on fetches dispatched but not yet consumed (memory bound).
@@ -162,6 +168,7 @@ class StripedReader:
         self.bytes_fetched = 0
         self.replica_fallbacks = 0
         self.cache_hits = 0
+        self.corruptions_reported = 0
 
     # -- chunk fetching -------------------------------------------------------
     def _verify(self, placement: ChunkPlacement, data: bytes) -> None:
@@ -219,6 +226,7 @@ class StripedReader:
             except ChunkIntegrityError as exc:
                 last_error = exc
                 self.scheduler.mark_failed(benefactor_id)
+                self._report_corruption(placement.ref.chunk_id, benefactor_id)
                 if position + 1 < len(candidates):
                     with self._lock:
                         self.replica_fallbacks += 1
@@ -231,6 +239,21 @@ class StripedReader:
         raise ReadFailedError(
             f"no replica of chunk {placement.ref.chunk_id} is usable"
         ) from last_error
+
+    def _report_corruption(self, chunk_id: str, benefactor_id: str) -> None:
+        """Hand a verification failure to the repair loop (best effort).
+
+        Reporting must never turn a recoverable read (the fallback replica
+        is fine) into a failed one, so every error is swallowed here.
+        """
+        if self.corruption_reporter is None:
+            return
+        try:
+            self.corruption_reporter(chunk_id, benefactor_id)
+            with self._lock:
+                self.corruptions_reported += 1
+        except Exception:  # noqa: BLE001 - reporting is advisory
+            pass
 
     # -- pipelined dispatch ---------------------------------------------------
     def _store_locked(self, index: int, data: bytes) -> None:

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.benefactor.maintenance.digest import compute_inventory_digest
 from repro.core.chunk_map import ChunkMap
 from repro.core.dataset import DatasetMetadata, DatasetVersion
 from repro.core.namespace import Namespace, normalize_path, split_path
@@ -43,6 +44,9 @@ from repro.manager.registry import BenefactorRegistry
 from repro.transport.base import Endpoint, Transport
 from repro.util.clock import Clock, SystemClock
 from repro.util.config import RetentionConfig, RetentionPolicyKind, StdchkConfig
+
+#: Bound on repair hints handed to one benefactor per reconcile answer.
+MAX_REPAIR_HINTS = 256
 
 
 @dataclass
@@ -116,6 +120,13 @@ class MetadataManager(Endpoint):
         #: already present in the previous report ("seen twice" rule), which
         #: protects chunks pushed by sessions that have not committed yet.
         self._gc_seen: Dict[str, Set[str]] = {}
+        #: Corruption ledger: ``chunk_id -> {benefactor_id: reported_at}``.
+        #: An entry means that benefactor's replica served provably corrupt
+        #: bytes; the placement was dropped when the report arrived, and the
+        #: entry guards against soft-state reconciliation re-attaching the
+        #: bad copy before the holder purges it.  Durable (journaled): a
+        #: recovered manager must not resurrect a corrupt replica.
+        self._corrupt: Dict[str, Dict[str, float]] = {}
         #: Transaction counter (any client- or benefactor-facing call).
         self.transactions = 0
 
@@ -283,13 +294,35 @@ class MetadataManager(Endpoint):
         }
 
     def heartbeat(self, benefactor_id: str, free_space: int, used_space: int = 0,
-                  chunk_count: int = 0) -> Dict[str, object]:
+                  chunk_count: int = 0,
+                  inventory_digest: str = "") -> Dict[str, object]:
+        """Soft-state liveness refresh, optionally carrying an inventory digest.
+
+        When the digest diverges from the inventory this benefactor last
+        reconciled (or repair hints / corruption-ledger entries are waiting
+        for it), the answer sets ``inventory_requested`` and the benefactor
+        follows up with a full ``reconcile_inventory`` — so the common case
+        (nothing changed) costs one digest per beat instead of the full id
+        list.
+        """
         self._require_online()
         self._count()
         self.registry.heartbeat(
-            benefactor_id, free_space, used_space, chunk_count, now=self.clock.now()
+            benefactor_id, free_space, used_space, chunk_count,
+            now=self.clock.now(), inventory_digest=inventory_digest,
         )
-        return {"acknowledged": True}
+        inventory_requested = self.registry.needs_reconcile(
+            benefactor_id, inventory_digest
+        )
+        if not inventory_requested:
+            with self._meta_lock:
+                # A ledger entry for this node means it still holds a copy
+                # the pool must not trust: ask for a reconcile, whose answer
+                # instructs the purge.
+                inventory_requested = any(
+                    benefactor_id in holders for holders in self._corrupt.values()
+                )
+        return {"acknowledged": True, "inventory_requested": inventory_requested}
 
     def report_benefactor_failure(self, benefactor_id: str) -> Dict[str, object]:
         """Clients report data-path failures so the manager reacts promptly."""
@@ -338,38 +371,183 @@ class MetadataManager(Endpoint):
                             chunk_ids: Sequence[str]) -> Dict[str, object]:
         """Reconcile a benefactor's advertised chunk inventory (soft state).
 
-        Benefactors re-advertise the chunks they hold when they (re)register.
-        A recovered manager uses the advertisement to repair what the journal
-        cannot carry: replica placements created by background replication
-        after the last commit record are *re-attached*.  Chunks no committed
+        Benefactors re-advertise the chunks they hold when they (re)register
+        or when a heartbeat's inventory digest diverges.  A recovered manager
+        uses the advertisement to repair what the journal cannot carry:
+        replica placements created by background replication after the last
+        commit record are *re-attached* — unless the corruption ledger marks
+        this benefactor's copy bad, in which case the answer's ``purge`` list
+        tells the holder to drop the chunk instead.  Chunks no committed
         version references are reported back as orphans but deliberately NOT
         marked seen for the GC exchange: an "orphan" may be an in-flight
         chunk whose ack record did not survive the crash, and the seen-twice
         rule (two consecutive unreferenced reports) is exactly the grace
         period that lets its session commit first.
+
+        The answer doubles as the manager's *repair handoff*: ``repair``
+        lists chunks this benefactor holds whose healthy replica count is
+        below the dataset's target (with the corrupt holders excluded as
+        copy targets), pre-seeding the node's anti-entropy pass.
         """
         self._require_online()
         self._count()
         inventory = set(chunk_ids)
         reattached = 0
+        repair: List[Dict[str, object]] = []
+        hinted: Set[str] = set()
         with self._meta_lock:
+            # Ledger entries for chunks this inventory no longer carries are
+            # cleared: the corrupt copy is gone, the id may be trusted again
+            # if the node ever stores a fresh replica.
+            for chunk_id, holders in list(self._corrupt.items()):
+                if benefactor_id in holders and chunk_id not in inventory:
+                    del holders[benefactor_id]
+                    if not holders:
+                        del self._corrupt[chunk_id]
+            purge = sorted(
+                chunk_id for chunk_id in inventory
+                if benefactor_id in self._corrupt.get(chunk_id, ())
+            )
             referenced: Set[str] = set()
             for dataset in self._datasets.values():
+                target = self._replication_targets.get(
+                    dataset.dataset_id, self.config.replication_level
+                )
                 for version in dataset.versions:
                     for placement in version.chunk_map:
                         chunk_id = placement.ref.chunk_id
                         if chunk_id not in inventory:
                             continue
                         referenced.add(chunk_id)
+                        corrupt_holders = set(self._corrupt.get(chunk_id, ()))
+                        if benefactor_id in corrupt_holders:
+                            # Never re-attach a copy the ledger says is bad.
+                            continue
                         if benefactor_id not in placement.benefactors:
                             placement.add_replica(benefactor_id)
                             reattached += 1
+                        healthy = [
+                            b for b in placement.benefactors
+                            if b not in corrupt_holders
+                        ]
+                        if (len(healthy) < target and chunk_id not in hinted
+                                and len(repair) < MAX_REPAIR_HINTS):
+                            hinted.add(chunk_id)
+                            repair.append({
+                                "chunk_id": chunk_id,
+                                "reason": ("corrupt_elsewhere" if corrupt_holders
+                                           else "under_replicated"),
+                                "exclude": sorted(corrupt_holders),
+                            })
             protected: Set[str] = set()
             for session in self._sessions.values():
                 if session.active:
                     protected.update(session.acked_chunks)
             orphans = sorted(inventory - referenced - protected)
-        return {"reattached": reattached, "orphans": orphans}
+        # Digest what was actually reported, so divergence checks on later
+        # heartbeats compare against ground truth rather than a self-report.
+        self.registry.note_reconciled(
+            benefactor_id, compute_inventory_digest(inventory).root
+        )
+        return {
+            "reattached": reattached,
+            "orphans": orphans,
+            "purge": purge,
+            "repair": repair,
+        }
+
+    def report_corrupt_chunk(self, chunk_id: str, benefactor_id: str,
+                             reporter: str = "") -> Dict[str, object]:
+        """Record that ``benefactor_id``'s replica of ``chunk_id`` is corrupt.
+
+        Fed by the client read path (a replica that failed digest/length
+        verification during a striped read) and by benefactor anti-entropy
+        comparisons.  The placement is dropped from every committed chunk-map
+        so readers stop trying the bad copy, the ledger entry prevents
+        soft-state reconciliation from re-attaching it, and the surviving
+        holders are flagged ``repair_pending`` so their next heartbeat picks
+        up the re-replication work.  Durable: a ghost corrupt replica after
+        recovery would satisfy the replication target and mask real
+        under-replication (same rationale as ``drop_benefactor``).
+        """
+        self._require_online()
+        self._count()
+        now = self.clock.now()
+        with self._meta_lock:
+            already_known = benefactor_id in self._corrupt.get(chunk_id, ())
+            survivors: Set[str] = set()
+            dropped = 0
+            for dataset in self._datasets.values():
+                for version in dataset.versions:
+                    for placement in version.chunk_map.placements_for(chunk_id):
+                        if benefactor_id in placement.benefactors:
+                            placement.remove_replica(benefactor_id)
+                            dropped += 1
+                        survivors.update(placement.benefactors)
+            self._corrupt.setdefault(chunk_id, {})[benefactor_id] = now
+            if not already_known:
+                self._journal(
+                    "corrupt_chunk",
+                    {"chunk_id": chunk_id, "benefactor_id": benefactor_id,
+                     "reporter": reporter, "t": now},
+                    durable=True,
+                )
+        for survivor in survivors:
+            self.registry.set_repair_pending(survivor)
+        return {
+            "recorded": True,
+            "replicas_dropped": dropped,
+            "healthy_holders": sorted(survivors),
+        }
+
+    def record_replicas(self, benefactor_id: str,
+                        chunk_ids: Sequence[str]) -> Dict[str, object]:
+        """Attach replicas created (or re-discovered) by decentralized repair.
+
+        Anti-entropy copies flow benefactor-to-benefactor; this call is how
+        the swarm tells the manager afterwards.  Soft state — not journaled:
+        a recovered manager re-learns the placements from the holder's own
+        inventory reconciliation, exactly like background-replication copies.
+        """
+        self._require_online()
+        self._count()
+        wanted = set(chunk_ids)
+        attached = 0
+        with self._meta_lock:
+            for dataset in self._datasets.values():
+                for version in dataset.versions:
+                    for placement in version.chunk_map:
+                        chunk_id = placement.ref.chunk_id
+                        if chunk_id not in wanted:
+                            continue
+                        if benefactor_id in self._corrupt.get(chunk_id, ()):
+                            continue
+                        if benefactor_id not in placement.benefactors:
+                            placement.add_replica(benefactor_id)
+                            attached += 1
+        return {"attached": attached}
+
+    def list_benefactors(self) -> List[Dict[str, object]]:
+        """Known benefactors with liveness — seeds the gossip directories."""
+        self._require_online()
+        self._count()
+        return [
+            {
+                "benefactor_id": record.benefactor_id,
+                "address": record.address,
+                "online": record.online,
+                "free_space": record.free_space,
+            }
+            for record in self.registry.known()
+        ]
+
+    def corrupt_replicas(self) -> Dict[str, List[str]]:
+        """Ledger snapshot: ``chunk_id -> benefactors with corrupt copies``."""
+        with self._meta_lock:
+            return {
+                chunk_id: sorted(holders)
+                for chunk_id, holders in self._corrupt.items()
+            }
 
     # ------------------------------------------------------ namespace operations
     def make_folder(self, path: str, retention_kind: Optional[str] = None,

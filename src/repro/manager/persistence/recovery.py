@@ -176,6 +176,17 @@ def _apply_drop_benefactor(manager, data) -> None:
             version.chunk_map.drop_benefactor(data["benefactor_id"])
 
 
+def _apply_corrupt_chunk(manager, data) -> None:
+    chunk_id = data["chunk_id"]
+    benefactor_id = data["benefactor_id"]
+    for dataset in manager._datasets.values():
+        for version in dataset.versions:
+            for placement in version.chunk_map.placements_for(chunk_id):
+                if benefactor_id in placement.benefactors:
+                    placement.remove_replica(benefactor_id)
+    manager._corrupt.setdefault(chunk_id, {})[benefactor_id] = data.get("t", 0.0)
+
+
 _APPLIERS: Dict[str, Callable] = {
     "register": _apply_register,
     "make_folder": _apply_make_folder,
@@ -190,6 +201,7 @@ _APPLIERS: Dict[str, Callable] = {
     "prune": _apply_prune,
     "gc": _apply_gc,
     "drop_benefactor": _apply_drop_benefactor,
+    "corrupt_chunk": _apply_corrupt_chunk,
 }
 
 

@@ -139,6 +139,10 @@ def encode_manager_state(manager) -> Dict[str, object]:
         "sessions": sessions,
         "reservations": reservations,
         "gc_seen": {bid: sorted(seen) for bid, seen in manager._gc_seen.items()},
+        "corrupt": {
+            chunk_id: dict(holders)
+            for chunk_id, holders in manager._corrupt.items()
+        },
         "benefactors": benefactors,
     }
 
@@ -206,6 +210,9 @@ def restore_manager_state(manager, state: Dict[str, object]) -> None:
 
     for bid, seen in state.get("gc_seen", {}).items():
         manager._gc_seen[bid] = set(seen)
+
+    for chunk_id, holders in state.get("corrupt", {}).items():
+        manager._corrupt[chunk_id] = dict(holders)
 
     for payload in state.get("benefactors", []):
         manager.registry.restore(

@@ -30,6 +30,15 @@ class BenefactorRecord:
     online: bool = True
     #: Heartbeats received; useful to assert soft-state behaviour in tests.
     heartbeats: int = 0
+    #: Merkle-style inventory digest carried by the latest heartbeat.
+    inventory_digest: str = ""
+    #: Digest of the inventory this benefactor last reconciled in full;
+    #: a heartbeat whose digest differs triggers re-advertisement.
+    reconciled_digest: str = ""
+    #: Set when the manager has repair hints waiting for this benefactor
+    #: (e.g. a corruption report shrank a placement it holds); the next
+    #: heartbeat is asked to reconcile so the hints are handed off.
+    repair_pending: bool = False
 
     def view(self) -> BenefactorView:
         """Snapshot consumed by the striping policy."""
@@ -76,7 +85,8 @@ class BenefactorRegistry:
             return record
 
     def heartbeat(self, benefactor_id: str, free_space: int, used_space: int,
-                  chunk_count: int, now: float) -> BenefactorRecord:
+                  chunk_count: int, now: float,
+                  inventory_digest: str = "") -> BenefactorRecord:
         """Refresh liveness and space for an already-registered benefactor."""
         with self._lock:
             record = self.get(benefactor_id)
@@ -86,7 +96,44 @@ class BenefactorRegistry:
             record.last_heartbeat = now
             record.online = True
             record.heartbeats += 1
+            if inventory_digest:
+                record.inventory_digest = inventory_digest
             return record
+
+    def note_reconciled(self, benefactor_id: str, digest: str) -> None:
+        """Record that ``benefactor_id`` reconciled an inventory with ``digest``.
+
+        The digest is computed by the *manager* from the reported inventory,
+        so the registry never trusts a benefactor's self-reported summary to
+        match the ids it actually sent.  Clears ``repair_pending``: the
+        reconcile answer carried whatever hints were waiting.
+        """
+        with self._lock:
+            record = self._records.get(benefactor_id)
+            if record is not None:
+                record.reconciled_digest = digest
+                record.inventory_digest = digest
+                record.repair_pending = False
+
+    def set_repair_pending(self, benefactor_id: str) -> None:
+        with self._lock:
+            record = self._records.get(benefactor_id)
+            if record is not None:
+                record.repair_pending = True
+
+    def needs_reconcile(self, benefactor_id: str, inventory_digest: str) -> bool:
+        """Should this benefactor re-advertise its full inventory?"""
+        with self._lock:
+            record = self._records.get(benefactor_id)
+            if record is None:
+                return True
+            if record.repair_pending:
+                return True
+            if not inventory_digest:
+                # A digest-less heartbeat (legacy caller) proves nothing
+                # about the inventory; do not force a re-advertisement.
+                return False
+            return inventory_digest != record.reconciled_digest
 
     def restore(self, benefactor_id: str, address: str,
                 registered_at: float = 0.0) -> BenefactorRecord:

@@ -9,11 +9,13 @@ place.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.benefactor.benefactor import Benefactor
 from repro.benefactor.chunk_store import DiskChunkStore, MemoryChunkStore
+from repro.benefactor.maintenance import AntiEntropyReport, BenefactorMaintenance
 from repro.client.proxy import ClientProxy
 from repro.exceptions import ConfigurationError
 from repro.fs.filesystem import StdchkFilesystem
@@ -65,6 +67,9 @@ class StdchkPool:
             transport=self.transport, config=self.config, clock=self.clock
         )
         self.benefactors: Dict[str, Benefactor] = {}
+        #: Per-benefactor maintenance stacks (heartbeat + gossip +
+        #: anti-entropy), keyed like :attr:`benefactors`.
+        self.maintenance: Dict[str, BenefactorMaintenance] = {}
         self._storage_root = storage_root
         #: Optional ``capacity -> ChunkStore`` builder; benchmarks use it to
         #: model device latency on otherwise hermetic in-memory stores.
@@ -103,6 +108,16 @@ class StdchkPool:
         )
         self.benefactors[benefactor_id] = benefactor
         benefactor.register_with(self.manager.address)
+        self.maintenance[benefactor_id] = BenefactorMaintenance(
+            benefactor,
+            manager_address=self.manager.address,
+            replication_target=self.config.replication_level,
+            gossip_fanout=self.config.gossip_fanout,
+            gossip_hint_sample=self.config.gossip_hint_sample,
+            max_repairs=self.config.anti_entropy_max_repairs,
+            # Deterministic per-node seed so pool tests are reproducible.
+            seed=zlib.crc32(benefactor_id.encode("utf-8")),
+        )
         return benefactor
 
     def heartbeat_all(self) -> None:
@@ -233,6 +248,26 @@ class StdchkPool:
         for _ in range(rounds):
             self.run_services_once()
 
+    def run_maintenance_once(self) -> Dict[str, "AntiEntropyReport"]:
+        """One decentralized maintenance round on every online benefactor.
+
+        Each node heartbeats (with its inventory digest, reconciling when
+        asked), gossips with random peers and runs one anti-entropy pass.
+        This is the benefactor-driven counterpart of
+        :meth:`run_services_once` and needs no manager-side replication
+        scan to heal replica loss.
+        """
+        reports: Dict[str, AntiEntropyReport] = {}
+        for benefactor_id, bundle in self.maintenance.items():
+            if self.benefactors[benefactor_id].online:
+                reports[benefactor_id] = bundle.run_once()
+        return reports
+
+    def heal(self, rounds: int = 3) -> None:
+        """Run several decentralized maintenance rounds (anti-entropy only)."""
+        for _ in range(rounds):
+            self.run_maintenance_once()
+
     # -- reporting ----------------------------------------------------------------------
     def stats(self) -> PoolStats:
         summary = self.manager.storage_summary()
@@ -283,6 +318,7 @@ class TcpDeployment:
         self.manager = MetadataManager(transport=self.transport, config=self.config)
         self.manager_address = self.transport.bound_address(self.manager.address)
         self.benefactors: List[Benefactor] = []
+        self.maintenance: Dict[str, BenefactorMaintenance] = {}
         for index in range(benefactor_count):
             store = (
                 store_factory(benefactor_capacity)
@@ -297,6 +333,15 @@ class TcpDeployment:
             bound = self.transport.bound_address(benefactor.address)
             benefactor.register_with(self.manager_address, advertised_address=bound)
             self.benefactors.append(benefactor)
+            self.maintenance[benefactor.benefactor_id] = BenefactorMaintenance(
+                benefactor,
+                manager_address=self.manager_address,
+                replication_target=self.config.replication_level,
+                gossip_fanout=self.config.gossip_fanout,
+                gossip_hint_sample=self.config.gossip_hint_sample,
+                max_repairs=self.config.anti_entropy_max_repairs,
+                seed=zlib.crc32(benefactor.benefactor_id.encode("utf-8")),
+            )
 
     def kill_manager(self) -> None:
         """Tear down the manager endpoint abruptly (simulated crash).
@@ -330,7 +375,20 @@ class TcpDeployment:
         for benefactor in self.benefactors:
             bound = self.transport.bound_address(benefactor.address)
             benefactor.register_with(self.manager_address, advertised_address=bound)
+        # The replacement bound a fresh port: re-point the maintenance stacks.
+        for bundle in self.maintenance.values():
+            bundle.manager_address = self.manager_address
         return report
+
+    def run_maintenance_once(self) -> Dict[str, AntiEntropyReport]:
+        """One decentralized maintenance round on every online benefactor."""
+        reports: Dict[str, AntiEntropyReport] = {}
+        for benefactor in self.benefactors:
+            if benefactor.online:
+                reports[benefactor.benefactor_id] = (
+                    self.maintenance[benefactor.benefactor_id].run_once()
+                )
+        return reports
 
     def kill_benefactor(self, benefactor_id: str) -> None:
         """Crash one benefactor abruptly while traffic may be in flight.
@@ -344,6 +402,24 @@ class TcpDeployment:
             if benefactor.benefactor_id == benefactor_id:
                 benefactor.go_offline()
                 self.transport.unregister(benefactor.address)
+                return
+        raise KeyError(f"unknown benefactor {benefactor_id!r}")
+
+    def recover_benefactor(self, benefactor_id: str) -> None:
+        """Bring a killed benefactor back: rebind its socket and re-register.
+
+        The node binds a *fresh* port (desktop machines rarely come back on
+        the same ephemeral socket), re-advertises its surviving inventory to
+        the manager — absorbing any repair hints waiting for it — and
+        rejoins gossip at the new address.
+        """
+        for benefactor in self.benefactors:
+            if benefactor.benefactor_id == benefactor_id:
+                benefactor.go_online()
+                self.transport.register(benefactor.address, benefactor)
+                bound = self.transport.bound_address(benefactor.address)
+                benefactor.register_with(self.manager_address,
+                                         advertised_address=bound)
                 return
         raise KeyError(f"unknown benefactor {benefactor_id!r}")
 

@@ -119,6 +119,18 @@ class StdchkConfig:
     #: Period of the retention-policy pruner.
     prune_interval: float = 60.0
 
+    #: Period of benefactor-to-benefactor gossip rounds.
+    gossip_interval: float = 10.0
+    #: Peers contacted per gossip round (epidemic fan-out).
+    gossip_fanout: int = 2
+    #: Placement hints sampled into one gossip message.
+    gossip_hint_sample: int = 64
+    #: Period of the benefactor anti-entropy pass (peer checksum comparison
+    #: plus decentralized re-replication).
+    anti_entropy_interval: float = 30.0
+    #: Bound on repairs (copies + re-attachments) one anti-entropy tick makes.
+    anti_entropy_max_repairs: int = 32
+
     #: FsCH block size when similarity detection is enabled.
     fsch_block_size: int = 1 * MiB
     #: CbCH window size (m) in bytes and boundary bits (k).
@@ -187,6 +199,16 @@ class StdchkConfig:
             raise ConfigurationError(
                 "heartbeat_timeout must exceed heartbeat_interval"
             )
+        if self.gossip_interval <= 0:
+            raise ConfigurationError("gossip_interval must be positive")
+        if self.gossip_fanout <= 0:
+            raise ConfigurationError("gossip_fanout must be positive")
+        if self.gossip_hint_sample < 0:
+            raise ConfigurationError("gossip_hint_sample must be non-negative")
+        if self.anti_entropy_interval <= 0:
+            raise ConfigurationError("anti_entropy_interval must be positive")
+        if self.anti_entropy_max_repairs <= 0:
+            raise ConfigurationError("anti_entropy_max_repairs must be positive")
         if self.fsch_block_size <= 0:
             raise ConfigurationError("fsch_block_size must be positive")
         if self.cbch_window_size <= 0:

@@ -1,0 +1,344 @@
+"""Tests for decentralized replica maintenance on benefactor nodes.
+
+Covers the inventory digest (determinism, divergence localization, the
+benefactor-side mutation-count cache), the peer directory soft state, the
+digest-carrying heartbeat protocol (reconcile only on divergence, transparent
+re-registration after a manager restart), gossip propagation of membership
+and placement hints, and the anti-entropy pass (copy repair, orphan
+re-attachment without re-copying, corruption attribution for
+content-addressed chunks).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import StdchkPool
+from repro.benefactor.benefactor import Benefactor
+from repro.benefactor.chunk_store import MemoryChunkStore
+from repro.benefactor.maintenance import (
+    AntiEntropyService,
+    GossipService,
+    HeartbeatService,
+    PeerDirectory,
+    bucket_index,
+    compute_inventory_digest,
+)
+from repro.core.chunk import content_chunk_id
+from repro.transport.inprocess import InProcessTransport
+from repro.util.clock import VirtualClock
+from repro.util.hashing import chunk_digest
+from repro.util.units import MiB
+from tests.conftest import make_bytes
+
+
+def peer_group(count: int):
+    """``count`` benefactors on one transport with fully-seeded directories."""
+    transport = InProcessTransport()
+    clock = VirtualClock()
+    nodes = [
+        Benefactor(
+            benefactor_id=f"node-{index:02d}",
+            transport=transport,
+            store=MemoryChunkStore(64 * MiB),
+            clock=clock,
+        )
+        for index in range(count)
+    ]
+    for node in nodes:
+        for other in nodes:
+            if other is not node:
+                node.peers.observe(
+                    other.benefactor_id,
+                    other.address,
+                    now=clock.now(),
+                    free_space=other.free_space,
+                )
+    return transport, clock, nodes
+
+
+class TestInventoryDigest:
+    def test_digest_is_order_independent(self):
+        ids = [f"sha1:{index:040x}" for index in range(50)]
+        forward = compute_inventory_digest(ids)
+        backward = compute_inventory_digest(reversed(ids))
+        shuffled = list(ids)
+        random.Random(7).shuffle(shuffled)
+        assert forward == backward == compute_inventory_digest(shuffled)
+
+    def test_single_chunk_change_localized_to_its_bucket(self):
+        ids = [f"chunk-{index}" for index in range(100)]
+        base = compute_inventory_digest(ids)
+        extra = "chunk-new"
+        grown = compute_inventory_digest(ids + [extra])
+        assert grown.root != base.root
+        assert base.diverging_buckets(grown) == [bucket_index(extra)]
+
+    def test_empty_and_singleton_inventories_differ(self):
+        empty = compute_inventory_digest([])
+        one = compute_inventory_digest(["c0"])
+        assert empty.root != one.root
+        # The empty digest is still well-formed and self-equal.
+        assert empty == compute_inventory_digest(())
+
+    def test_mismatched_bucket_counts_are_not_comparable(self):
+        with pytest.raises(ValueError):
+            compute_inventory_digest(["a"], buckets=8).diverging_buckets(
+                compute_inventory_digest(["a"], buckets=16)
+            )
+
+    def test_bucket_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            compute_inventory_digest(["a"], buckets=0)
+
+
+class TestBenefactorInventorySummaries:
+    def test_digest_cached_until_store_mutates(self):
+        _, _, (node,) = peer_group(1)
+        first = node._current_digest()
+        assert node._current_digest() is first  # no mutation, no re-hash
+        payload = make_bytes(512, seed=1)
+        node.put_chunk(content_chunk_id(payload), payload)
+        second = node._current_digest()
+        assert second is not first
+        assert second.root != first.root
+        # Deleting the chunk mutates again; the digest returns to the
+        # empty-inventory value but is a freshly computed object.
+        node.delete_chunk(content_chunk_id(payload))
+        third = node._current_digest()
+        assert third is not second
+        assert third.root == first.root
+
+    def test_checksum_inventory_maps_ids_to_payload_digests(self):
+        _, _, (node,) = peer_group(1)
+        payloads = [make_bytes(256, seed=s) for s in (1, 2)]
+        for payload in payloads:
+            node.put_chunk(content_chunk_id(payload), payload)
+        assert node.checksum_inventory() == {
+            content_chunk_id(p): chunk_digest(p) for p in payloads
+        }
+        assert node.stats["checksum_inventories"] == 1
+
+
+class TestPeerDirectory:
+    def test_observe_ignores_the_owner(self):
+        directory = PeerDirectory("me")
+        directory.observe("me", "addr", now=1.0)
+        assert len(directory) == 0
+
+    def test_merge_keeps_the_newest_record(self):
+        directory = PeerDirectory("me")
+        directory.observe("p1", "old-addr", now=5.0, free_space=10)
+        stale = {"peer_id": "p1", "address": "stale", "last_seen": 3.0,
+                 "online": False, "free_space": 1}
+        assert directory.merge_peer_records([stale]) == 0
+        assert directory.get("p1").address == "old-addr"
+        fresh = {"peer_id": "p1", "address": "new-addr", "last_seen": 9.0,
+                 "online": True, "free_space": 99}
+        assert directory.merge_peer_records([fresh]) == 1
+        record = directory.get("p1")
+        assert record.address == "new-addr"
+        assert record.free_space == 99
+
+    def test_random_peers_skips_offline_and_excluded(self):
+        directory = PeerDirectory("me")
+        for peer_id in ("a", "b", "c"):
+            directory.observe(peer_id, f"addr-{peer_id}", now=1.0)
+        directory.mark_offline("b")
+        picked = directory.random_peers(random.Random(0), 5, exclude=("c",))
+        assert [p.peer_id for p in picked] == ["a"]
+
+    def test_hint_capacity_is_bounded(self):
+        directory = PeerDirectory("me", max_hints=3)
+        for index in range(5):
+            directory.note_holders(f"chunk-{index}", ("h",))
+        assert directory.hint_count() == 3
+        # Oldest hints were evicted, newest survive.
+        assert directory.holders_of("chunk-4") == {"h"}
+        assert directory.holders_of("chunk-0") == set()
+
+    def test_forget_holder_retracts_one_hint(self):
+        directory = PeerDirectory("me")
+        directory.note_holders("c0", ("a", "b"))
+        directory.forget_holder("c0", "a")
+        assert directory.holders_of("c0") == {"b"}
+
+
+class TestHeartbeatService:
+    def test_unchanged_digest_skips_reconciliation(self, pool: StdchkPool):
+        service = pool.maintenance["benefactor-00"].heartbeat
+        answer = service.run_once()
+        assert answer == {"acknowledged": True, "inventory_requested": False}
+        assert service.beats == 1
+        assert service.reconciles == 0
+
+    def test_diverged_digest_triggers_one_reconcile(self, pool: StdchkPool):
+        client = pool.client("writer")
+        client.write_file("/hb/ckpt.N0.T1", make_bytes(200 * 1024, seed=4))
+        reconciled = 0
+        for bundle in pool.maintenance.values():
+            bundle.heartbeat.run_once()
+            reconciled += bundle.heartbeat.reconciles
+        # Every benefactor that received chunks diverged exactly once...
+        assert reconciled >= 2
+        # ...and a second round finds everything reconciled again.
+        for bundle in pool.maintenance.values():
+            answer = bundle.heartbeat.run_once()
+            assert answer["inventory_requested"] is False
+
+    def test_heartbeat_refreshes_the_peer_directory(self, pool: StdchkPool):
+        service = pool.maintenance["benefactor-00"].heartbeat
+        service.run_once()
+        directory = pool.benefactors["benefactor-00"].peers
+        assert len(directory) == 3  # everyone but itself
+        assert "benefactor-01" in directory
+
+    def test_unknown_benefactor_reregisters_transparently(self, pool: StdchkPool):
+        late = Benefactor(
+            benefactor_id="late-joiner",
+            transport=pool.transport,
+            store=MemoryChunkStore(64 * MiB),
+            clock=pool.clock,
+        )
+        service = HeartbeatService(late, pool.manager.address)
+        service.run_once()
+        assert service.reregistrations == 1
+        assert pool.manager.registry.is_online("late-joiner")
+
+    def test_offline_benefactor_skips_the_beat(self, pool: StdchkPool):
+        pool.benefactors["benefactor-00"].go_offline()
+        service = pool.maintenance["benefactor-00"].heartbeat
+        assert service.run_once() is None
+        assert service.beats == 0
+
+
+class TestGossipService:
+    def test_hints_propagate_to_contacted_peers(self):
+        _, _, nodes = peer_group(3)
+        origin = nodes[0]
+        payload = make_bytes(512, seed=9)
+        chunk_id = content_chunk_id(payload)
+        origin.put_chunk(chunk_id, payload)
+        service = GossipService(origin, fanout=2, seed=11)
+        report = service.run_once()
+        assert report.exchanged == 2
+        for peer in nodes[1:]:
+            assert peer.peers.holders_of(chunk_id) == {origin.benefactor_id}
+            assert peer.stats["gossip_in"] == 1
+
+    def test_unreachable_peer_is_marked_offline(self):
+        _, _, nodes = peer_group(3)
+        origin, down, _ = nodes
+        down.go_offline()
+        service = GossipService(origin, fanout=3, seed=1)
+        report = service.run_once()
+        assert report.unreachable == 1
+        assert origin.peers.get(down.benefactor_id).online is False
+
+    def test_second_hand_knowledge_spreads(self):
+        # node-2 knows node-1 only through gossip with node-0.
+        transport = InProcessTransport()
+        clock = VirtualClock()
+        nodes = [
+            Benefactor(f"node-{i:02d}", transport=transport,
+                       store=MemoryChunkStore(64 * MiB), clock=clock)
+            for i in range(3)
+        ]
+        zero, one, two = nodes
+        zero.peers.observe(one.benefactor_id, one.address, now=1.0)
+        zero.peers.observe(two.benefactor_id, two.address, now=1.0)
+        report = GossipService(zero, fanout=2, seed=3).run_once()
+        assert report.exchanged == 2
+        assert one.benefactor_id in two.peers or two.benefactor_id in one.peers
+
+
+class TestAntiEntropyService:
+    def test_under_replicated_chunk_is_copied_to_a_peer(self):
+        _, _, nodes = peer_group(3)
+        holder = nodes[0]
+        payload = make_bytes(4096, seed=21)
+        chunk_id = content_chunk_id(payload)
+        holder.put_chunk(chunk_id, payload)
+        service = AntiEntropyService(holder, replication_target=2, seed=5)
+        report = service.run_once()
+        assert report.repaired == 1
+        assert report.healed_chunks == [chunk_id]
+        copies = [n for n in nodes[1:] if n.store.contains(chunk_id)]
+        assert len(copies) == 1
+        assert holder.stats["replications_out"] == 1
+
+    def test_orphaned_copy_is_reattached_not_recopied(self):
+        _, _, nodes = peer_group(2)
+        holder, orphan_host = nodes
+        payload = make_bytes(4096, seed=22)
+        chunk_id = content_chunk_id(payload)
+        holder.put_chunk(chunk_id, payload)
+        # The peer already holds the chunk but nobody knows (an orphan:
+        # e.g. a recovered node whose placements the manager dropped).
+        orphan_host.put_chunk(chunk_id, payload)
+        # A repair hint arrives (as the manager's reconcile handoff would
+        # deliver it) before any checksum comparison reveals the orphan.
+        holder.enqueue_repair(chunk_id)
+        service = AntiEntropyService(holder, replication_target=2, seed=5)
+        report = service.run_once()
+        assert report.reattached == 1
+        assert report.repaired == 0
+        # No bytes moved: the copy was found, not pushed.
+        assert holder.stats["replications_out"] == 0
+        assert holder.peers.holders_of(chunk_id) >= {orphan_host.benefactor_id}
+
+    def test_corrupt_remote_copy_is_detected_and_queued_for_repair(self):
+        _, _, nodes = peer_group(2)
+        good, bad = nodes
+        payload = make_bytes(4096, seed=23)
+        chunk_id = content_chunk_id(payload)
+        good.put_chunk(chunk_id, payload)
+        bad.put_chunk(chunk_id, payload)
+        bad.store._chunks[chunk_id] = b"\x00" * 4096  # silent bit rot
+        service = AntiEntropyService(good, replication_target=2, seed=5)
+        report = service.run_once()
+        assert report.corrupt_remote == 1
+        assert bad.benefactor_id not in good.peers.holders_of(chunk_id)
+        # The only possible copy target is the corrupt holder, which is
+        # excluded: the repair stays queued for a tick with more peers.
+        assert report.repair_failures >= 1
+        assert good.pending_repairs() == 1
+
+    def test_corrupt_local_copy_is_dropped(self):
+        _, _, nodes = peer_group(2)
+        victim, good = nodes
+        payload = make_bytes(4096, seed=24)
+        chunk_id = content_chunk_id(payload)
+        victim.put_chunk(chunk_id, payload)
+        good.put_chunk(chunk_id, payload)
+        victim.store._chunks[chunk_id] = b"\xff" * 4096
+        service = AntiEntropyService(victim, replication_target=2, seed=5)
+        report = service.run_once()
+        assert report.corrupt_local == 1
+        assert not victim.store.contains(chunk_id)
+        # The good copy on the peer is untouched.
+        assert good.store.get(chunk_id).data == payload
+
+    def test_offline_node_does_nothing(self):
+        _, _, nodes = peer_group(2)
+        nodes[0].go_offline()
+        report = AntiEntropyService(nodes[0], replication_target=2).run_once()
+        assert report.repaired == 0
+        assert report.peers_compared == 0
+
+    def test_position_addressed_divergence_is_counted_not_attributed(self):
+        _, _, nodes = peer_group(2)
+        left, right = nodes
+        chunk_id = "ds-1:v1:c0"
+        left.put_chunk(chunk_id, b"a" * 128)
+        right.put_chunk(chunk_id, b"b" * 128)
+        service = AntiEntropyService(left, replication_target=1, seed=5)
+        report = service.run_once()
+        assert report.divergent_unattributed == 1
+        assert report.corrupt_local == 0
+        assert report.corrupt_remote == 0
+        # Neither side deleted anything: there is no ground truth.
+        assert left.store.contains(chunk_id)
+        assert right.store.contains(chunk_id)

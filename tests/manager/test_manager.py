@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.benefactor.maintenance import compute_inventory_digest
 from repro.core.chunk import ChunkRef
 from repro.core.chunk_map import ChunkMap
 from repro.exceptions import (
@@ -75,6 +76,60 @@ class TestRegistry:
         assert registry.total_contributed_space() == 350
         assert len(registry) == 2
         assert "b0" in registry
+
+
+class TestRegistryDigestTracking:
+    def make_registry(self):
+        registry = BenefactorRegistry(heartbeat_timeout=10.0)
+        registry.register("b0", "addr", 100, 0, 0, now=0.0)
+        return registry
+
+    def test_unchanged_digest_needs_no_readvertisement(self):
+        registry = self.make_registry()
+        registry.note_reconciled("b0", "digest-1")
+        assert registry.needs_reconcile("b0", "digest-1") is False
+
+    def test_diverged_digest_forces_readvertisement(self):
+        registry = self.make_registry()
+        registry.note_reconciled("b0", "digest-1")
+        assert registry.needs_reconcile("b0", "digest-2") is True
+        # Reconciling at the new digest settles the divergence.
+        registry.note_reconciled("b0", "digest-2")
+        assert registry.needs_reconcile("b0", "digest-2") is False
+
+    def test_never_reconciled_benefactor_must_advertise(self):
+        registry = self.make_registry()
+        assert registry.needs_reconcile("b0", "digest-1") is True
+        assert registry.needs_reconcile("ghost", "digest-1") is True
+
+    def test_digestless_legacy_heartbeat_is_not_forced(self):
+        registry = self.make_registry()
+        registry.note_reconciled("b0", "digest-1")
+        assert registry.needs_reconcile("b0", "") is False
+
+    def test_repair_pending_overrides_a_matching_digest(self):
+        registry = self.make_registry()
+        registry.note_reconciled("b0", "digest-1")
+        registry.set_repair_pending("b0")
+        assert registry.needs_reconcile("b0", "digest-1") is True
+        # The reconcile delivers the hints and clears the flag.
+        registry.note_reconciled("b0", "digest-1")
+        assert registry.needs_reconcile("b0", "digest-1") is False
+
+    def test_manager_heartbeat_carries_the_divergence_signal(self):
+        transport = InProcessTransport()
+        config = StdchkConfig(chunk_size=1024, stripe_width=2)
+        manager = MetadataManager(transport=transport, config=config,
+                                  clock=VirtualClock())
+        manager.register_benefactor("b0", "benefactor://b0", free_space=1 << 20)
+        manager.reconcile_inventory("b0", ["c0", "c1"])
+        matching = compute_inventory_digest(["c0", "c1"]).root
+        answer = manager.heartbeat("b0", free_space=1 << 20,
+                                   inventory_digest=matching)
+        assert answer["inventory_requested"] is False
+        answer = manager.heartbeat("b0", free_space=1 << 20,
+                                   inventory_digest="different")
+        assert answer["inventory_requested"] is True
 
 
 class TestSessionsAndCommits:

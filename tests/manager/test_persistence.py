@@ -604,7 +604,12 @@ class TestReconciliation:
         manager.commit_session(session["session_id"], chunk_map.to_dict(), size=200)
 
         answer = manager.reconcile_inventory("b1", ["c2", "orphan-1"])
-        assert answer == {"reattached": 1, "orphans": ["orphan-1"]}
+        assert answer["reattached"] == 1
+        assert answer["orphans"] == ["orphan-1"]
+        # No corruption reported and c2 reaches its target once re-attached:
+        # the repair handoff has nothing for this benefactor.
+        assert answer["purge"] == []
+        assert answer["repair"] == []
         placement = manager.dataset_by_path("/f").latest.chunk_map.placement_for("c2")
         assert sorted(placement.benefactors) == ["b0", "b1"]
         # Reconciliation must not fast-track collection: the orphan still
