@@ -16,7 +16,6 @@ the perf trajectory across PRs.
 
 from __future__ import annotations
 
-import json
 import os
 import shutil
 import tempfile
@@ -29,7 +28,7 @@ from repro.transport.inprocess import InProcessTransport
 from repro.util.clock import VirtualClock
 from repro.util.units import MB, MiB
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_bench_results
 
 CHUNK = 64 * 1024
 FILE_SIZE = 16 * CHUNK  # 1 MiB per checkpoint image
@@ -51,7 +50,10 @@ def write_config(journal_dir, fsync_policy):
 
 
 def measure_write_path(fsync_policy):
-    """OAB (MB/s) writing FILES checkpoint images; None disables the journal."""
+    """OAB (MB/s), fsync count, and metrics aggregate for FILES image writes.
+
+    ``fsync_policy=None`` disables the journal entirely.
+    """
     tmp = tempfile.mkdtemp(prefix="bench-journal-")
     journal_dir = None if fsync_policy is None else os.path.join(tmp, "journal")
     try:
@@ -69,11 +71,12 @@ def measure_write_path(fsync_policy):
         for index in range(FILES):
             client.write_file(f"/bench/ck.N0.T{index}", payload)
         elapsed = time.perf_counter() - start
+        metrics = pool.metrics()["aggregate"]
         fsyncs = 0
         if pool.manager.persistence is not None:
             fsyncs = pool.manager.persistence.stats()["fsyncs"]
             pool.manager.close_persistence()
-        return (FILES * FILE_SIZE / elapsed) / MB, fsyncs
+        return (FILES * FILE_SIZE / elapsed) / MB, fsyncs, metrics
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
 
@@ -133,12 +136,13 @@ def measure_recovery(commits, snapshot_every=10**9):
 def test_write_path_overhead(benchmark):
     rows = []
     results = {}
+    metrics = None
     measure_write_path(None)  # warm-up (thread pools, allocator) — discarded
-    baseline, _ = measure_write_path(None)
+    baseline, _, _ = measure_write_path(None)
     rows.append({"journal": "disabled", "OAB_MBps": baseline, "fsyncs": 0,
                  "overhead_pct": 0.0})
     for policy in ("never", "commit", "always"):
-        oab, fsyncs = measure_write_path(policy)
+        oab, fsyncs, metrics = measure_write_path(policy)
         overhead = (baseline - oab) / baseline * 100.0
         rows.append({"journal": f"fsync={policy}", "OAB_MBps": oab,
                      "fsyncs": fsyncs, "overhead_pct": overhead})
@@ -151,7 +155,7 @@ def test_write_path_overhead(benchmark):
         rows,
         note="acceptance gate: fsync=commit within 10% of the no-journal baseline",
     )
-    _merge_results("write_path", results)
+    write_bench_results(RESULTS_PATH, "write_path", results, metrics=metrics)
     commit_oab = results["commit"]["oab_mbps"]
     assert commit_oab >= 0.9 * baseline, (
         f"journaling overhead too high: {commit_oab:.1f} MB/s vs "
@@ -193,19 +197,6 @@ def test_recovery_time_scales_with_journal_length(benchmark):
         rows,
         note="one create_session + commit pair per checkpoint; replay only",
     )
-    _merge_results("recovery", results)
+    write_bench_results(RESULTS_PATH, "recovery", results)
     assert snap_report.snapshot_loaded
     assert snap_report.records_replayed <= 512
-
-
-def _merge_results(section, payload):
-    data = {}
-    if os.path.exists(RESULTS_PATH):
-        try:
-            with open(RESULTS_PATH, encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            data = {}
-    data[section] = payload
-    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)

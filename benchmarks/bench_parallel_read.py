@@ -20,15 +20,13 @@ them alongside the other ``BENCH_*.json`` artifacts.
 
 from __future__ import annotations
 
-import json
-import os
 import time
 
 from repro import StdchkConfig, TcpDeployment
 from repro.benefactor.chunk_store import DelayedChunkStore
 from repro.util.units import MB
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_bench_results
 
 CHUNK = 64 * 1024
 CHUNKS = 48
@@ -49,8 +47,12 @@ def make_config() -> StdchkConfig:
     )
 
 
-def run_reads() -> list:
-    """Write one image, then time whole-image reads at each parallelism."""
+def run_reads():
+    """Write one image, then time whole-image reads at each parallelism.
+
+    Returns ``(rows, metrics)`` — the timing rows plus the deployment's
+    scraped metrics aggregate for the ``BENCH_*.json`` artifact.
+    """
 
     def slow_store(capacity):
         return DelayedChunkStore(capacity, get_delay=GET_DELAY)
@@ -82,11 +84,12 @@ def run_reads() -> list:
                 "throughput_MBps": (FILE_SIZE / elapsed) / MB,
                 "stream_MBps": (FILE_SIZE / stream_elapsed) / MB,
             })
-    return rows
+        metrics = deployment.scrape()["aggregate"]
+    return rows, metrics
 
 
 def test_parallel_read_restart_speedup(benchmark):
-    rows = run_reads()
+    rows, metrics = run_reads()
     speedup = rows[-1]["throughput_MBps"] / rows[0]["throughput_MBps"]
     for row in rows:
         row["speedup"] = row["throughput_MBps"] / rows[0]["throughput_MBps"]
@@ -96,25 +99,12 @@ def test_parallel_read_restart_speedup(benchmark):
         rows,
         note="read_parallelism=4 vs 1; acceptance gate: >= 2x whole-image read",
     )
-    _write_results(rows)
+    write_bench_results(
+        RESULTS_PATH, "restart_read",
+        {"file_size_bytes": FILE_SIZE, "get_delay_s": GET_DELAY, "rows": rows},
+        metrics=metrics,
+    )
     assert speedup >= 2.0, (
         f"parallel read {rows[-1]['throughput_MBps']:.1f} MB/s is less than "
         f"2x serial {rows[0]['throughput_MBps']:.1f} MB/s"
     )
-
-
-def _write_results(rows) -> None:
-    data = {}
-    if os.path.exists(RESULTS_PATH):
-        try:
-            with open(RESULTS_PATH, encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            data = {}
-    data["restart_read"] = {
-        "file_size_bytes": FILE_SIZE,
-        "get_delay_s": GET_DELAY,
-        "rows": rows,
-    }
-    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)

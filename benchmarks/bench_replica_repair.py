@@ -24,17 +24,16 @@ them alongside the other ``BENCH_*.json`` artifacts.
 
 from __future__ import annotations
 
-import json
-import os
 import random
 import time
 
 from repro import StdchkConfig, StdchkPool
+from repro.obs import merge_snapshots
 from repro.simulation.churn import ChurnModel
 from repro.util.config import SimilarityHeuristic, WriteSemantics
 from repro.util.units import MiB
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_bench_results
 
 CHUNK = 32 * 1024
 CHUNKS = 24
@@ -141,7 +140,7 @@ def run_corrupt_plus_churn() -> dict:
     outcome = heal_until_converged(pool, MAX_ROUNDS)
     outcome["scenario"] = "corrupt + churn of fresh copy"
     outcome["chunks_at_risk"] = 1
-    return outcome
+    return outcome, pool.metrics()["aggregate"]
 
 
 def run_node_departure() -> dict:
@@ -155,11 +154,15 @@ def run_node_departure() -> dict:
     outcome = heal_until_converged(pool, MAX_ROUNDS)
     outcome["scenario"] = "permanent node departure"
     outcome["chunks_at_risk"] = at_risk
-    return outcome
+    return outcome, pool.metrics()["aggregate"]
 
 
 def test_replica_repair_under_churn():
-    rows = [run_corrupt_plus_churn(), run_node_departure()]
+    outcomes = [run_corrupt_plus_churn(), run_node_departure()]
+    metrics = merge_snapshots(
+        [snapshot for _, snapshot in outcomes]
+    )
+    rows = [outcome for outcome, _ in outcomes]
     rows = [
         {
             "scenario": row["scenario"],
@@ -178,7 +181,17 @@ def test_replica_repair_under_churn():
         note=(f"acceptance gates: convergence within {MAX_ROUNDS} rounds "
               f"and {MAX_REPAIR_SECONDS:.0f}s per scenario"),
     )
-    _write_results(rows)
+    write_bench_results(
+        RESULTS_PATH, "replica_repair",
+        {
+            "benefactors": BENEFACTORS,
+            "chunks": CHUNKS,
+            "chunk_size": CHUNK,
+            "replication_level": REPLICATION,
+            "rows": rows,
+        },
+        metrics=metrics,
+    )
     for row in rows:
         assert row["converged"], f"{row['scenario']} never reached the target"
         assert row["rounds"] <= MAX_ROUNDS
@@ -186,22 +199,3 @@ def test_replica_repair_under_churn():
             f"{row['scenario']} took {row['repair_s']:.1f}s "
             f"(gate {MAX_REPAIR_SECONDS:.0f}s)"
         )
-
-
-def _write_results(rows) -> None:
-    data = {}
-    if os.path.exists(RESULTS_PATH):
-        try:
-            with open(RESULTS_PATH, encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            data = {}
-    data["replica_repair"] = {
-        "benefactors": BENEFACTORS,
-        "chunks": CHUNKS,
-        "chunk_size": CHUNK,
-        "replication_level": REPLICATION,
-        "rows": rows,
-    }
-    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)

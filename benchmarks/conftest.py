@@ -14,9 +14,34 @@ discrete-event substrate only models transfer times.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import json
+import os
+from typing import Dict, Optional, Sequence
 
 import pytest
+
+
+def write_bench_results(path: str, section: str, payload: object,
+                        metrics: Optional[dict] = None) -> None:
+    """Merge one benchmark section into a ``BENCH_*.json`` artifact.
+
+    Every artifact carries a top-level ``metrics`` block — the aggregate
+    registry snapshot of the deployment that produced the numbers — so CI
+    can assert the observability pipeline stays wired end to end.  Passing
+    ``metrics=None`` keeps whatever block an earlier section wrote.
+    """
+    data: Dict[str, object] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data[section] = payload
+    if metrics is not None:
+        data["metrics"] = metrics
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
 
 
 def print_table(title: str, rows: Sequence[Dict[str, object]],

@@ -45,6 +45,16 @@ from repro.similarity import (
     FixedSizeCompareByHash,
     trace_similarity,
 )
+from repro.obs import (
+    SPAN_STORE,
+    MetricsRegistry,
+    SpanStore,
+    component_logger,
+    logging_setup,
+    merge_snapshots,
+    to_json,
+    to_prometheus,
+)
 
 __version__ = "1.1.0"
 
@@ -68,5 +78,13 @@ __all__ = [
     "FixedSizeCompareByHash",
     "ContentBasedCompareByHash",
     "trace_similarity",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "to_prometheus",
+    "to_json",
+    "SpanStore",
+    "SPAN_STORE",
+    "logging_setup",
+    "component_logger",
     "__version__",
 ]

@@ -27,12 +27,26 @@ from repro.benefactor.maintenance.digest import (
 from repro.benefactor.maintenance.peers import PeerDirectory, RepairTask
 from repro.core.chunk import Chunk, ChunkId
 from repro.exceptions import BenefactorOfflineError, ChunkNotFoundError
+from repro.obs import MetricsRegistry
 from repro.transport.base import Endpoint, Transport
 from repro.util.clock import Clock, SystemClock
 from repro.util.units import GiB
 
 #: Bound on placement hints returned in one gossip reply.
 GOSSIP_REPLY_HINTS = 64
+
+#: Legacy counter names exposed through the :attr:`Benefactor.stats` view,
+#: now thin reads over the node's metrics registry.
+_STAT_KEYS = (
+    "puts",
+    "gets",
+    "deletes",
+    "replications_out",
+    "bytes_in",
+    "bytes_out",
+    "gossip_in",
+    "checksum_inventories",
+)
 
 
 class Benefactor(Endpoint):
@@ -67,26 +81,43 @@ class Benefactor(Endpoint):
         self._digest_cache: Optional[Tuple[int, InventoryDigest]] = None
         #: Deterministic per-node stream for gossip-reply sampling.
         self._gossip_rng = random.Random(benefactor_id)
-        #: Counters exposed for tests and benchmarks.
-        self.stats: Dict[str, int] = {
-            "puts": 0,
-            "gets": 0,
-            "deletes": 0,
-            "replications_out": 0,
-            "bytes_in": 0,
-            "bytes_out": 0,
-            "gossip_in": 0,
-            "checksum_inventories": 0,
-        }
+        #: Per-node metrics registry; ``obs_component``/``obs_node_id`` stamp
+        #: server-side RPC spans opened by ``Endpoint.dispatch``.
+        self.obs = MetricsRegistry(component="benefactor", node_id=benefactor_id)
+        self.obs_component = "benefactor"
+        self.obs_node_id = benefactor_id
         # Parallel pushers hit one benefactor from several client threads at
-        # once; the chunk store serializes internally, the stats need their
-        # own lock so counters stay exact under concurrency.
-        self._stats_lock = threading.Lock()
+        # once; registry series carry their own locks, so counters stay exact
+        # under concurrency.
+        self._stat_counters = {
+            key: self.obs.counter(
+                f"benefactor_{key}_total", f"Benefactor {key} counter."
+            )
+            for key in _STAT_KEYS
+        }
+        store_hist = self.obs.histogram(
+            "benefactor_store_seconds",
+            "Chunk-store I/O latency by operation.",
+            labelnames=("op",),
+        )
+        self._store_put_timer = store_hist.labels(op="put")
+        self._store_get_timer = store_hist.labels(op="get")
         self.transport.register(self.address, self)
 
     def _bump(self, counter: str, amount: int = 1) -> None:
-        with self._stats_lock:
-            self.stats[counter] += amount
+        self._stat_counters[counter].inc(amount)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Legacy counter dict, now a thin view over the metrics registry."""
+        return {
+            key: int(series.value)
+            for key, series in self._stat_counters.items()
+        }
+
+    def get_metrics(self) -> Dict[str, object]:
+        """Metrics-snapshot RPC; deliberately served even while offline."""
+        return self.obs.snapshot()
 
     # -- lifecycle -----------------------------------------------------------
     def _require_online(self) -> None:
@@ -268,7 +299,8 @@ class Benefactor(Endpoint):
         self._require_online()
         chunk = Chunk(chunk_id=chunk_id, data=data)
         chunk.verify()
-        self.store.put(chunk)
+        with self._store_put_timer.time():
+            self.store.put(chunk)
         self._bump("puts")
         self._bump("bytes_in", len(data))
         return {"stored": True, "free_space": self.store.free_space}
@@ -289,7 +321,8 @@ class Benefactor(Endpoint):
             try:
                 chunk = Chunk(chunk_id=chunk_id, data=entry["data"])  # type: ignore[arg-type]
                 chunk.verify()
-                self.store.put(chunk)
+                with self._store_put_timer.time():
+                    self.store.put(chunk)
             except Exception:
                 return {
                     "stored": stored,
@@ -304,7 +337,8 @@ class Benefactor(Endpoint):
     def get_chunk(self, chunk_id: ChunkId) -> bytes:
         """Return the payload of one chunk."""
         self._require_online()
-        chunk = self.store.get(chunk_id)
+        with self._store_get_timer.time():
+            chunk = self.store.get(chunk_id)
         self._bump("gets")
         self._bump("bytes_out", chunk.size)
         return chunk.data

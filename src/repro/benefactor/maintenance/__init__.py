@@ -55,6 +55,25 @@ class BenefactorMaintenance:
             max_repairs=max_repairs,
             seed=None if seed is None else seed + 1,
         )
+        obs = getattr(benefactor, "obs", None)
+        if obs is not None:
+            tick = obs.histogram(
+                "maintenance_tick_seconds",
+                "Duration of one maintenance-service tick.",
+                labelnames=("service",),
+            )
+            self._tick_timers = {
+                "heartbeat": tick.labels(service="heartbeat"),
+                "gossip": tick.labels(service="gossip"),
+                "anti_entropy": tick.labels(service="anti_entropy"),
+            }
+            self._repairs_counter = obs.counter(
+                "maintenance_repairs_total",
+                "Replicas healed (copied or re-attached) by maintenance rounds.",
+            )
+        else:
+            self._tick_timers = None
+            self._repairs_counter = None
 
     @property
     def manager_address(self) -> str:
@@ -68,9 +87,20 @@ class BenefactorMaintenance:
 
     def run_once(self) -> AntiEntropyReport:
         """One maintenance round: heartbeat, then gossip, then anti-entropy."""
-        self.heartbeat.run_once()
-        self.gossip.run_once()
-        return self.anti_entropy.run_once()
+        if self._tick_timers is None:
+            self.heartbeat.run_once()
+            self.gossip.run_once()
+            return self.anti_entropy.run_once()
+        with self._tick_timers["heartbeat"].time():
+            self.heartbeat.run_once()
+        with self._tick_timers["gossip"].time():
+            self.gossip.run_once()
+        with self._tick_timers["anti_entropy"].time():
+            report = self.anti_entropy.run_once()
+        healed = report.repaired + report.reattached
+        if healed:
+            self._repairs_counter.inc(healed)
+        return report
 
 
 __all__ = [

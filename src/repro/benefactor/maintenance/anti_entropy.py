@@ -41,6 +41,7 @@ from repro.exceptions import (
     EndpointUnreachableError,
     StdchkError,
 )
+from repro.obs import component_logger
 
 #: ``sha1:<hex>`` ids embed their expected payload digest.
 _CONTENT_PREFIX = "sha1:"
@@ -83,6 +84,28 @@ class AntiEntropyService:
         self.candidate_attempts = candidate_attempts
         self._rng = random.Random(seed)
         self.rounds = 0
+        self._log = component_logger("anti-entropy", benefactor.benefactor_id)
+        obs = getattr(benefactor, "obs", None)
+        if obs is not None:
+            repairs = obs.counter(
+                "anti_entropy_repairs_total",
+                "Replicas healed by the anti-entropy pass, by kind.",
+                labelnames=("kind",),
+            )
+            self._repaired_counter = repairs.labels(kind="copied")
+            self._reattached_counter = repairs.labels(kind="reattached")
+            corrupt = obs.counter(
+                "anti_entropy_corrupt_total",
+                "Provably corrupt replicas detected, by side.",
+                labelnames=("side",),
+            )
+            self._corrupt_local_counter = corrupt.labels(side="local")
+            self._corrupt_remote_counter = corrupt.labels(side="remote")
+        else:
+            self._repaired_counter = None
+            self._reattached_counter = None
+            self._corrupt_local_counter = None
+            self._corrupt_remote_counter = None
 
     # ------------------------------------------------------------------ tick
     def run_once(self) -> AntiEntropyReport:
@@ -142,16 +165,24 @@ class AntiEntropyService:
                     directory.note_holders(chunk_id, (peer.peer_id,))
                     self._record_with_manager(peer.peer_id, [chunk_id])
                     report.reattached += 1
+                    if self._reattached_counter is not None:
+                        self._reattached_counter.inc()
                     report.healed_chunks.append(chunk_id)
                     return True
                 answer = benefactor.replicate_to([chunk_id], peer.address)
-            except (EndpointUnreachableError, BenefactorOfflineError):
+            except (EndpointUnreachableError, BenefactorOfflineError) as exc:
+                self._log.info(
+                    "repair target %s at %s unreachable for chunk %s: %s",
+                    peer.peer_id, peer.address, chunk_id, exc,
+                )
                 directory.mark_offline(peer.peer_id)
                 continue
             if chunk_id in answer["copied"]:
                 directory.note_holders(chunk_id, (peer.peer_id,))
                 self._record_with_manager(peer.peer_id, [chunk_id])
                 report.repaired += 1
+                if self._repaired_counter is not None:
+                    self._repaired_counter.inc()
                 report.healed_chunks.append(chunk_id)
                 return True
         return False
@@ -167,10 +198,13 @@ class AntiEntropyService:
                 benefactor_id=holder_id,
                 chunk_ids=chunk_ids,
             )
-        except StdchkError:
+        except StdchkError as exc:
             # Manager down or recovering: the holder's own soft-state
             # reconciliation will re-attach the placement later.
-            pass
+            self._log.info(
+                "could not record replicas %s on %s with manager: %s",
+                chunk_ids, holder_id, exc,
+            )
 
     def _report_corruption(self, chunk_id: str, holder_id: str) -> None:
         if self.manager_address is None:
@@ -183,8 +217,11 @@ class AntiEntropyService:
                 benefactor_id=holder_id,
                 reporter=self.benefactor.benefactor_id,
             )
-        except StdchkError:
-            pass
+        except StdchkError as exc:
+            self._log.info(
+                "could not report corrupt chunk %s on %s to manager: %s",
+                chunk_id, holder_id, exc,
+            )
 
     # ------------------------------------------------------- peer comparison
     def _compare_with_random_peer(self, report: AntiEntropyReport) -> None:
@@ -221,7 +258,11 @@ class AntiEntropyService:
             expected = chunk_id[len(_CONTENT_PREFIX):]
             if remote_sum != expected:
                 # The peer's copy is provably corrupt.
+                self._log.warning("peer %s holds corrupt copy of chunk %s",
+                                  peer_id, chunk_id)
                 report.corrupt_remote += 1
+                if self._corrupt_remote_counter is not None:
+                    self._corrupt_remote_counter.inc()
                 directory.forget_holder(chunk_id, peer_id)
                 self._report_corruption(chunk_id, peer_id)
                 if local_sum == expected:
@@ -234,7 +275,11 @@ class AntiEntropyService:
                 directory.note_holders(chunk_id, (peer_id,))
             if local_sum is not None and local_sum != expected:
                 # Our own copy is provably corrupt: drop and self-report.
+                self._log.warning("local copy of chunk %s is corrupt; dropping",
+                                  chunk_id)
                 report.corrupt_local += 1
+                if self._corrupt_local_counter is not None:
+                    self._corrupt_local_counter.inc()
                 benefactor.store.delete(chunk_id)
                 directory.forget_holder(chunk_id, benefactor.benefactor_id)
                 self._report_corruption(chunk_id, benefactor.benefactor_id)

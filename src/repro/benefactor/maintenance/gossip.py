@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import BenefactorOfflineError, EndpointUnreachableError
+from repro.obs import component_logger
 
 
 @dataclass
@@ -42,6 +43,13 @@ class GossipService:
         self.hint_sample = hint_sample
         self._rng = random.Random(seed)
         self.rounds = 0
+        self._log = component_logger("gossip", benefactor.benefactor_id)
+        obs = getattr(benefactor, "obs", None)
+        self._unreachable_counter = (
+            obs.counter("gossip_unreachable_total",
+                        "Gossip targets that could not be reached.")
+            if obs is not None else None
+        )
 
     def run_once(self) -> GossipRound:
         report = GossipRound()
@@ -74,9 +82,14 @@ class GossipService:
                     peers=payload_peers,
                     placements=payload_hints,
                 )
-            except (EndpointUnreachableError, BenefactorOfflineError):
+            except (EndpointUnreachableError, BenefactorOfflineError) as exc:
+                # The observation itself spreads via later rounds.
+                self._log.info("peer %s at %s unreachable, marked offline: %s",
+                               peer.peer_id, peer.address, exc)
                 directory.mark_offline(peer.peer_id)
                 report.unreachable += 1
+                if self._unreachable_counter is not None:
+                    self._unreachable_counter.inc()
                 continue
             report.exchanged += 1
             report.peers_learned += directory.merge_peer_records(answer["peers"])

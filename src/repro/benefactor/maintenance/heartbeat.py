@@ -25,6 +25,7 @@ from repro.exceptions import (
     ManagerUnavailableError,
     UnknownBenefactorError,
 )
+from repro.obs import component_logger
 
 
 class HeartbeatService:
@@ -44,6 +45,13 @@ class HeartbeatService:
         self.beats = 0
         self.reconciles = 0
         self.reregistrations = 0
+        self._log = component_logger("heartbeat", benefactor.benefactor_id)
+        obs = getattr(benefactor, "obs", None)
+        self._beat_counter = (
+            obs.counter("maintenance_heartbeats_total",
+                        "Heartbeats acknowledged by the manager.")
+            if obs is not None else None
+        )
 
     def run_once(self) -> Optional[Dict[str, object]]:
         """One heartbeat (plus reconciliation when the manager asks for it).
@@ -68,15 +76,26 @@ class HeartbeatService:
         except UnknownBenefactorError:
             # A restarted manager lost the soft registration: re-register,
             # which re-advertises the inventory and absorbs repair hints.
+            self._log.info(
+                "manager at %s forgot us; re-registering with full inventory",
+                self.manager_address,
+            )
             benefactor.register_with(self.manager_address,
                                      advertised_address=benefactor.advertised_address)
             self.reregistrations += 1
             self.beats += 1
+            if self._beat_counter is not None:
+                self._beat_counter.inc()
             self._refresh_peers()
             return {"acknowledged": True, "inventory_requested": False}
-        except (EndpointUnreachableError, ManagerUnavailableError):
+        except (EndpointUnreachableError, ManagerUnavailableError) as exc:
+            # Soft state: a missed beat just expires us a little sooner.
+            self._log.info("manager at %s unreachable, heartbeat skipped: %s",
+                           self.manager_address, exc)
             return None
         self.beats += 1
+        if self._beat_counter is not None:
+            self._beat_counter.inc()
         if answer.get("inventory_requested"):
             benefactor.reconcile_with(self.manager_address)
             self.reconciles += 1
@@ -90,7 +109,9 @@ class HeartbeatService:
         try:
             records = benefactor.transport.call(self.manager_address,
                                                 "list_benefactors")
-        except (EndpointUnreachableError, ManagerUnavailableError):
+        except (EndpointUnreachableError, ManagerUnavailableError) as exc:
+            self._log.debug("peer refresh from %s failed: %s",
+                            self.manager_address, exc)
             return
         now = benefactor.clock.now()
         for record in records:

@@ -16,6 +16,7 @@ from repro.client.session import WriteStats
 from repro.client.write_protocols import WriteSession, make_write_session
 from repro.core.chunk_map import ChunkMap
 from repro.exceptions import FileNotFoundInStdchkError
+from repro.obs import MetricsRegistry, tracing
 from repro.transport.base import Transport
 from repro.util.clock import Clock, SystemClock
 from repro.util.config import SimilarityHeuristic, StdchkConfig
@@ -42,10 +43,30 @@ class ClientProxy:
         self.spool_dir = spool_dir
         #: Aggregated statistics across every session opened by this client.
         self.lifetime_stats = WriteStats()
+        #: Per-client metrics registry; every session/reader opened by this
+        #: client records into it, and ``StdchkPool.metrics()`` exports it.
+        self.obs = MetricsRegistry(component="client", node_id=client_id)
         #: Replica selection state shared by every reader of this client, so
         #: one reader's failed-benefactor discovery benefits the next and
         #: concurrent readers spread load across replicas.
-        self.replica_scheduler = ReplicaScheduler()
+        self.replica_scheduler = ReplicaScheduler(metrics=self.obs)
+        self._write_seconds = self.obs.histogram(
+            "client_write_seconds", "End-to-end write_file latency."
+        )
+        self._read_seconds = self.obs.histogram(
+            "client_read_seconds", "End-to-end read_file latency."
+        )
+        self._stat_counters = {
+            field: self.obs.counter(
+                f"client_{field}_total",
+                f"Lifetime write-session total of the {field!r} statistic.",
+            )
+            for field in (
+                "bytes_written", "bytes_pushed", "bytes_deduplicated",
+                "chunks_pushed", "chunks_deduplicated", "push_failures",
+                "stripe_refreshes", "ack_batches",
+            )
+        }
 
     # -- manager sugar -------------------------------------------------------
     def _manager(self, method: str, **payload):
@@ -122,6 +143,7 @@ class ClientProxy:
             producer=producer,
             timestep=timestep,
             spool_dir=self.spool_dir,
+            metrics=self.obs,
         )
 
     def write_file(self, path: str, data: bytes, producer: str = "",
@@ -133,19 +155,25 @@ class ClientProxy:
         (applications usually write in small blocks while remote storage is
         accessed in ~1 MB chunks); 0 writes everything in one call.
         """
-        session = self.open_write(
-            path, expected_size=len(data), producer=producer, timestep=timestep
-        )
-        try:
-            if block_size and block_size > 0:
-                for start in range(0, len(data), block_size):
-                    session.write(data[start:start + block_size])
-            else:
-                session.write(data)
-            session.close()
-        except Exception:
-            session.abort()
-            raise
+        with tracing.start_span(
+            "client.write_file", component="client", node_id=self.client_id,
+            attributes={"path": path, "bytes": len(data)},
+        ):
+            with self._write_seconds.time():
+                session = self.open_write(
+                    path, expected_size=len(data), producer=producer,
+                    timestep=timestep,
+                )
+                try:
+                    if block_size and block_size > 0:
+                        for start in range(0, len(data), block_size):
+                            session.write(data[start:start + block_size])
+                    else:
+                        session.write(data)
+                    session.close()
+                except Exception:
+                    session.abort()
+                    raise
         self._accumulate(session.stats)
         return session
 
@@ -164,14 +192,14 @@ class ClientProxy:
         )
 
     def _accumulate(self, stats: WriteStats) -> None:
-        self.lifetime_stats.bytes_written += stats.bytes_written
-        self.lifetime_stats.bytes_pushed += stats.bytes_pushed
-        self.lifetime_stats.bytes_deduplicated += stats.bytes_deduplicated
-        self.lifetime_stats.chunks_pushed += stats.chunks_pushed
-        self.lifetime_stats.chunks_deduplicated += stats.chunks_deduplicated
-        self.lifetime_stats.push_failures += stats.push_failures
-        self.lifetime_stats.stripe_refreshes += stats.stripe_refreshes
-        self.lifetime_stats.ack_batches += stats.ack_batches
+        for field, counter in self._stat_counters.items():
+            amount = getattr(stats, field)
+            setattr(
+                self.lifetime_stats, field,
+                getattr(self.lifetime_stats, field) + amount,
+            )
+            if amount:
+                counter.inc(amount)
 
     # -- reads ------------------------------------------------------------------------
     def open_read(self, path: str, version: Optional[int] = None) -> StripedReader:
@@ -182,6 +210,9 @@ class ClientProxy:
         so the fallback feeds repair instead of discarding the evidence.
         """
         answer = self._manager("get_chunk_map", path=path, version=version)
+        # The manager piggybacks its cluster-wide read-routing counts on the
+        # chunk-map answer; the scheduler uses them as a load tie-break.
+        self.replica_scheduler.note_load_hints(answer.get("load_hints"))
         return StripedReader(
             transport=self.transport,
             chunk_map=ChunkMap.from_dict(answer["chunk_map"]),
@@ -191,6 +222,7 @@ class ClientProxy:
             max_inflight_reads=self.config.max_inflight_reads,
             scheduler=self.replica_scheduler,
             corruption_reporter=self._report_corrupt_chunk,
+            metrics=self.obs,
         )
 
     def _report_corrupt_chunk(self, chunk_id: str, benefactor_id: str) -> None:
@@ -203,7 +235,12 @@ class ClientProxy:
 
     def read_file(self, path: str, version: Optional[int] = None) -> bytes:
         """Read a whole file (a checkpoint image for a restart)."""
-        return self.open_read(path, version=version).read_all()
+        with tracing.start_span(
+            "client.read_file", component="client", node_id=self.client_id,
+            attributes={"path": path},
+        ):
+            with self._read_seconds.time():
+                return self.open_read(path, version=version).read_all()
 
     def read_file_iter(self, path: str,
                        version: Optional[int] = None) -> Iterator[bytes]:

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Set
 
 from repro.core.chunk import Chunk, is_content_addressed
 from repro.core.chunk_map import ChunkMap, ChunkPlacement
@@ -46,6 +46,7 @@ from repro.exceptions import (
     EndpointUnreachableError,
     ReadFailedError,
 )
+from repro.obs import MetricsRegistry, tracing
 from repro.transport.base import Transport
 
 
@@ -58,13 +59,35 @@ class ReplicaScheduler:
     failed (so one reader's discovery benefits the next).  Failed benefactors
     are only retried as a last resort — and un-marked when such a retry
     succeeds, so a recovered node rejoins the rotation.
+
+    With a ``metrics`` registry the per-benefactor outstanding counts and
+    the failed-set size are exported as gauges, making replica skew visible
+    before it shows up as a bench regression.  ``note_load_hints`` absorbs
+    the manager's cluster-wide read-routing counts (returned by
+    ``get_chunk_map``); ``order`` uses them as a secondary tie-break after
+    the client-local outstanding counts.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
         self._failed: Set[str] = set()
         self._outstanding: Dict[str, int] = {}
         self._rotation = 0
+        #: Manager-provided cluster-wide load proxy (higher = busier).
+        self._load_hints: Dict[str, int] = {}
+        if metrics is not None:
+            self._outstanding_gauge = metrics.gauge(
+                "replica_outstanding_requests",
+                "Chunk fetches currently outstanding, per benefactor.",
+                labelnames=("benefactor",),
+            )
+            self._failed_gauge = metrics.gauge(
+                "replica_failed_benefactors",
+                "Benefactors currently marked failed by the read path.",
+            )
+        else:
+            self._outstanding_gauge = None
+            self._failed_gauge = None
 
     @property
     def failed_benefactors(self) -> Set[str]:
@@ -93,14 +116,40 @@ class ReplicaScheduler:
             offset = self._rotation % len(pool)
             self._rotation += 1
             rotated = pool[offset:] + pool[:offset]
-            rotated.sort(key=lambda b: self._outstanding.get(b, 0))
+            # Primary key: client-local outstanding fetches.  Secondary key:
+            # the manager's cluster-wide read-routing count, so full ties
+            # (the common case on an idle client) land on the benefactor the
+            # rest of the cluster is using least.  The sort is stable, so the
+            # rotation still breaks exact ties.
+            rotated.sort(
+                key=lambda b: (
+                    self._outstanding.get(b, 0),
+                    self._load_hints.get(b, 0),
+                )
+            )
             if healthy:
                 rotated += [b for b in benefactors if b not in healthy]
             return rotated
 
+    def note_load_hints(self, hints: Optional[Mapping[str, int]]) -> None:
+        """Absorb the manager's per-benefactor read-routing counts.
+
+        Later hints overwrite earlier ones per benefactor; counts for nodes
+        not mentioned are retained (a hint batch only covers the benefactors
+        relevant to one chunk map).
+        """
+        if not hints:
+            return
+        with self._lock:
+            for benefactor_id, count in hints.items():
+                self._load_hints[str(benefactor_id)] = int(count)
+
     def begin(self, benefactor_id: str) -> None:
         with self._lock:
-            self._outstanding[benefactor_id] = self._outstanding.get(benefactor_id, 0) + 1
+            count = self._outstanding.get(benefactor_id, 0) + 1
+            self._outstanding[benefactor_id] = count
+            if self._outstanding_gauge is not None:
+                self._outstanding_gauge.labels(benefactor=benefactor_id).set(count)
 
     def end(self, benefactor_id: str) -> None:
         with self._lock:
@@ -108,15 +157,22 @@ class ReplicaScheduler:
             if remaining > 0:
                 self._outstanding[benefactor_id] = remaining
             else:
+                remaining = 0
                 self._outstanding.pop(benefactor_id, None)
+            if self._outstanding_gauge is not None:
+                self._outstanding_gauge.labels(benefactor=benefactor_id).set(remaining)
 
     def mark_failed(self, benefactor_id: str) -> None:
         with self._lock:
             self._failed.add(benefactor_id)
+            if self._failed_gauge is not None:
+                self._failed_gauge.set(len(self._failed))
 
     def mark_alive(self, benefactor_id: str) -> None:
         with self._lock:
             self._failed.discard(benefactor_id)
+            if self._failed_gauge is not None:
+                self._failed_gauge.set(len(self._failed))
 
 
 class StripedReader:
@@ -134,6 +190,7 @@ class StripedReader:
         scheduler: Optional[ReplicaScheduler] = None,
         cache_chunks: int = 0,
         corruption_reporter: Optional[Callable[[str, str], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.transport = transport
         self.chunk_map = chunk_map
@@ -169,6 +226,30 @@ class StripedReader:
         self.replica_fallbacks = 0
         self.cache_hits = 0
         self.corruptions_reported = 0
+        #: Trace context active when the reader was constructed.  Worker
+        #: threads do not inherit thread-local state, so fetches re-activate
+        #: it explicitly and their RPC spans stay inside the read's trace.
+        self._trace_ctx = tracing.current_context()
+        if metrics is not None:
+            self._fetch_timer = metrics.histogram(
+                "client_fetch_chunk_seconds",
+                "End-to-end latency of one chunk fetch (incl. fallbacks).",
+            )
+            self._chunks_counter = metrics.counter(
+                "client_chunks_fetched_total", "Chunks fetched by readers."
+            )
+            self._read_bytes_counter = metrics.counter(
+                "client_read_bytes_total", "Chunk payload bytes fetched."
+            )
+            self._fallback_counter = metrics.counter(
+                "client_replica_fallbacks_total",
+                "Fetches that fell back to another replica.",
+            )
+        else:
+            self._fetch_timer = None
+            self._chunks_counter = None
+            self._read_bytes_counter = None
+            self._fallback_counter = None
 
     # -- chunk fetching -------------------------------------------------------
     def _verify(self, placement: ChunkPlacement, data: bytes) -> None:
@@ -180,6 +261,12 @@ class StripedReader:
                 f"{len(data)} (expected {placement.ref.length})"
             )
 
+    def _note_fallback(self) -> None:
+        with self._lock:
+            self.replica_fallbacks += 1
+        if self._fallback_counter is not None:
+            self._fallback_counter.inc()
+
     def _fetch_chunk(self, placement: ChunkPlacement) -> bytes:
         """Fetch one chunk from the best replica (worker-thread entry point).
 
@@ -187,6 +274,13 @@ class StripedReader:
         next candidate; verification runs here so with parallel reads the
         SHA-1 recomputation overlaps other chunks' network transfers.
         """
+        with tracing.use_context(self._trace_ctx):
+            if self._fetch_timer is not None:
+                with self._fetch_timer.time():
+                    return self._fetch_replicas(placement)
+            return self._fetch_replicas(placement)
+
+    def _fetch_replicas(self, placement: ChunkPlacement) -> bytes:
         last_error: Optional[Exception] = None
         with self._lock:
             missing = set(self._missing)
@@ -209,15 +303,14 @@ class StripedReader:
                 last_error = exc
                 with self._lock:
                     self._missing.add(benefactor_id)
-                    if position + 1 < len(candidates):
-                        self.replica_fallbacks += 1
+                if position + 1 < len(candidates):
+                    self._note_fallback()
                 continue
             except (EndpointUnreachableError, BenefactorOfflineError) as exc:
                 last_error = exc
                 self.scheduler.mark_failed(benefactor_id)
                 if position + 1 < len(candidates):
-                    with self._lock:
-                        self.replica_fallbacks += 1
+                    self._note_fallback()
                 continue
             finally:
                 self.scheduler.end(benefactor_id)
@@ -228,13 +321,15 @@ class StripedReader:
                 self.scheduler.mark_failed(benefactor_id)
                 self._report_corruption(placement.ref.chunk_id, benefactor_id)
                 if position + 1 < len(candidates):
-                    with self._lock:
-                        self.replica_fallbacks += 1
+                    self._note_fallback()
                 continue
             self.scheduler.mark_alive(benefactor_id)
             with self._lock:
                 self.chunks_fetched += 1
                 self.bytes_fetched += len(data)
+            if self._chunks_counter is not None:
+                self._chunks_counter.inc()
+                self._read_bytes_counter.inc(len(data))
             return data
         raise ReadFailedError(
             f"no replica of chunk {placement.ref.chunk_id} is usable"

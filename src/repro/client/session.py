@@ -34,6 +34,7 @@ from repro.exceptions import (
     StoreFullError,
     WriteFailedError,
 )
+from repro.obs import MetricsRegistry, tracing
 from repro.transport.base import Transport
 from repro.util.config import SimilarityHeuristic, StdchkConfig, WriteSemantics
 
@@ -75,6 +76,7 @@ class ChunkPusher:
         config: StdchkConfig,
         existing_chunks: Optional[Dict[str, List[str]]] = None,
         max_stripe_refreshes: int = 3,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.transport = transport
         self.manager_address = manager_address
@@ -109,6 +111,18 @@ class ChunkPusher:
         self._results: Dict[int, Tuple[ChunkRef, List[str]]] = {}
         self._failure: Optional[BaseException] = None
         self._ack_buffer: List[Dict[str, object]] = []
+
+        #: Trace context active when the session opened; push workers do not
+        #: inherit thread-local state, so they re-activate it explicitly and
+        #: their RPC spans stay inside the write's trace.
+        self._trace_ctx = tracing.current_context()
+        if metrics is not None:
+            self._push_timer = metrics.histogram(
+                "client_push_chunk_seconds",
+                "Latency of one chunk push incl. replication and retries.",
+            )
+        else:
+            self._push_timer = None
 
         self.parallelism = max(1, config.push_parallelism)
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -222,6 +236,14 @@ class ChunkPusher:
 
     def _push_task(self, chunk: Chunk, ref: ChunkRef, index: int) -> None:
         """Push one chunk and record its placement (worker entry point)."""
+        with tracing.use_context(self._trace_ctx):
+            if self._push_timer is not None:
+                with self._push_timer.time():
+                    self._run_push(chunk, ref, index)
+            else:
+                self._run_push(chunk, ref, index)
+
+    def _run_push(self, chunk: Chunk, ref: ChunkRef, index: int) -> None:
         try:
             holders = self._push_with_replication(chunk, index)
         except BaseException as exc:  # noqa: BLE001 - surfaced via _raise_if_failed

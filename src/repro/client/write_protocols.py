@@ -40,6 +40,7 @@ from typing import Dict, List, Optional
 
 from repro.client.session import ChunkPusher, WriteStats
 from repro.exceptions import SessionStateError
+from repro.obs import MetricsRegistry
 from repro.transport.base import Transport
 from repro.util.clock import Clock, SystemClock
 from repro.util.config import StdchkConfig, WriteProtocol
@@ -60,6 +61,7 @@ class WriteSession(ABC):
         clock: Optional[Clock] = None,
         producer: str = "",
         timestep: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.transport = transport
         self.manager_address = manager_address
@@ -74,6 +76,7 @@ class WriteSession(ABC):
             session_info=session_info,
             config=config,
             existing_chunks=existing_chunks,
+            metrics=metrics,
         )
         self.open_time = self.clock.now()
         self.close_time: Optional[float] = None
@@ -284,6 +287,7 @@ def make_write_session(
     producer: str = "",
     timestep: Optional[int] = None,
     spool_dir: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> WriteSession:
     """Instantiate the session class implementing ``protocol``."""
     cls = _PROTOCOL_CLASSES[protocol]
@@ -296,6 +300,7 @@ def make_write_session(
         clock=clock,
         producer=producer,
         timestep=timestep,
+        metrics=metrics,
     )
     if cls in (IncrementalWriteSession, CompleteLocalWriteSession):
         kwargs["spool_dir"] = spool_dir

@@ -41,6 +41,7 @@ from repro.manager.persistence import (
     restore_manager_state,
 )
 from repro.manager.registry import BenefactorRegistry
+from repro.obs import MetricsRegistry
 from repro.transport.base import Endpoint, Transport
 from repro.util.clock import Clock, SystemClock
 from repro.util.config import RetentionConfig, RetentionPolicyKind, StdchkConfig
@@ -100,6 +101,27 @@ class MetadataManager(Endpoint):
         self.recovering = False
         #: Set during replay so re-applied operations are not re-journaled.
         self._replaying = False
+        #: Per-node metrics registry; ``Endpoint.dispatch`` also uses it for
+        #: per-method RPC handling latency, and stamps server-side trace
+        #: spans with ``obs_component``/``obs_node_id``.
+        self.obs = MetricsRegistry(component="manager", node_id=manager_id)
+        self.obs_component = "manager"
+        self.obs_node_id = manager_id
+        self._txn_counter = self.obs.counter(
+            "manager_transactions_total",
+            "Client- and benefactor-facing calls handled.",
+        )
+        #: Cumulative count of replica placements handed out by
+        #: ``get_chunk_map`` answers, per benefactor — a cluster-wide
+        #: read-routing load proxy, also returned as ``load_hints`` so the
+        #: client's ReplicaScheduler can break ties with pool-wide knowledge.
+        self._read_load: Dict[str, int] = {}
+        self._read_load_lock = threading.Lock()
+        self._read_load_gauge = self.obs.gauge(
+            "manager_read_routing_load",
+            "Replica placements handed to readers, per benefactor.",
+            labelnames=("benefactor",),
+        )
         if persistence is None and self.config.journal_dir is not None:
             persistence = ManagerPersistence(
                 self.config.journal_dir,
@@ -107,6 +129,8 @@ class MetadataManager(Endpoint):
                 snapshot_every_n_records=self.config.snapshot_every_n_records,
             )
         self._persistence = persistence
+        if self._persistence is not None:
+            self._persistence.attach_metrics(self.obs)
 
         self._datasets: Dict[str, DatasetMetadata] = {}
         self._replication_targets: Dict[str, int] = {}
@@ -161,6 +185,11 @@ class MetadataManager(Endpoint):
     def _count(self) -> None:
         with self._txn_lock:
             self.transactions += 1
+        self._txn_counter.inc()
+
+    def get_metrics(self) -> Dict[str, object]:
+        """Metrics-snapshot RPC for scrapers (served even while recovering)."""
+        return self.obs.snapshot()
 
     def fail(self) -> None:
         """Simulate a manager failure (every call raises until recovery)."""
@@ -884,6 +913,20 @@ class MetadataManager(Endpoint):
         for benefactor_id in record.chunk_map.stored_benefactors:
             if benefactor_id in self.registry:
                 addresses[benefactor_id] = self.registry.address_of(benefactor_id)
+        # Tally the replica placements this answer routes readers toward and
+        # hand the cumulative per-benefactor counts back as load hints: the
+        # client's ReplicaScheduler uses them as a cluster-wide tie-breaker
+        # on top of its own (client-local) outstanding counts.
+        with self._read_load_lock:
+            for placement in record.chunk_map:
+                for holder in placement.benefactors:
+                    self._read_load[holder] = self._read_load.get(holder, 0) + 1
+            load_hints = {
+                benefactor_id: self._read_load.get(benefactor_id, 0)
+                for benefactor_id in addresses
+            }
+        for benefactor_id, load in load_hints.items():
+            self._read_load_gauge.labels(benefactor=benefactor_id).set(load)
         return {
             "dataset_id": dataset.dataset_id,
             "version": record.version,
@@ -892,6 +935,7 @@ class MetadataManager(Endpoint):
             "addresses": addresses,
             "producer": record.producer,
             "timestep": record.timestep,
+            "load_hints": load_hints,
         }
 
     def get_versions(self, path: str) -> List[Dict[str, object]]:

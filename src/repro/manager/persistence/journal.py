@@ -27,6 +27,7 @@ import json
 import os
 import struct
 import threading
+import time
 import zlib
 from typing import Dict, List, Optional, Tuple
 
@@ -99,6 +100,16 @@ class JournalWriter:
         #: Records appended through this writer (not counting prior contents).
         self.records_written = 0
         self.fsyncs = 0
+        #: Optional histogram series observing fsync latency
+        #: (``ManagerPersistence.attach_metrics`` wires it).
+        self.fsync_timer = None
+
+    def _fsync(self) -> None:
+        start = time.perf_counter()
+        os.fsync(self._handle.fileno())
+        self.fsyncs += 1
+        if self.fsync_timer is not None:
+            self.fsync_timer.observe(time.perf_counter() - start)
 
     def append(self, record: Dict[str, object], durable: bool = False) -> None:
         """Append one record; ``durable`` marks a durability point."""
@@ -109,15 +120,13 @@ class JournalWriter:
             if self.fsync_policy == FSYNC_ALWAYS or (
                 durable and self.fsync_policy == FSYNC_COMMIT
             ):
-                os.fsync(self._handle.fileno())
-                self.fsyncs += 1
+                self._fsync()
             self.records_written += 1
 
     def sync(self) -> None:
         with self._lock:
             self._handle.flush()
-            os.fsync(self._handle.fileno())
-            self.fsyncs += 1
+            self._fsync()
 
     def tell(self) -> int:
         with self._lock:

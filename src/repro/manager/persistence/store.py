@@ -22,6 +22,7 @@ import json
 import os
 import re
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import JournalClosedError
@@ -55,6 +56,31 @@ class ManagerPersistence:
         #: Ordinal covered by the most recent snapshot (0 = none).
         self.snapshot_lsn = 0
         self.snapshots_taken = 0
+        # Latency histograms wired by attach_metrics (owned by the manager's
+        # registry); None until a registry is attached.
+        self._append_timer = None
+        self._fsync_timer = None
+        self._snapshot_timer = None
+
+    def attach_metrics(self, registry) -> None:
+        """Record append/fsync/snapshot latency into ``registry``'s histograms."""
+        self._append_timer = registry.histogram(
+            "journal_append_seconds", "Write-ahead journal append latency."
+        )
+        self._fsync_timer = registry.histogram(
+            "journal_fsync_seconds", "Journal fsync latency."
+        )
+        self._snapshot_timer = registry.histogram(
+            "journal_snapshot_seconds",
+            "Snapshot write + journal compaction latency.",
+        )
+        with self._lock:
+            if self._writer is not None:
+                self._writer.fsync_timer = self._fsync_timer
+
+    def _wire_writer(self, writer: JournalWriter) -> JournalWriter:
+        writer.fsync_timer = self._fsync_timer
+        return writer
 
     # ------------------------------------------------------------- file layout
     def _snapshot_path(self, lsn: int) -> str:
@@ -149,7 +175,7 @@ class ManagerPersistence:
             _base, path = journals[-1]
         else:
             path = self._journal_path(self.snapshot_lsn)
-        self._writer = JournalWriter(path, self.fsync_policy)
+        self._writer = self._wire_writer(JournalWriter(path, self.fsync_policy))
 
     def _require_open_store(self) -> None:
         if self._closed:
@@ -173,7 +199,11 @@ class ManagerPersistence:
         """Append one record; returns its LSN."""
         with self._lock:
             self._ensure_open()
-            self._writer.append({"op": op, "data": payload}, durable=durable)
+            if self._append_timer is not None:
+                with self._append_timer.time():
+                    self._writer.append({"op": op, "data": payload}, durable=durable)
+            else:
+                self._writer.append({"op": op, "data": payload}, durable=durable)
             self.last_lsn += 1
             return self.last_lsn
 
@@ -188,6 +218,7 @@ class ManagerPersistence:
         deleted, so a crash at any point leaves either the old (snapshot,
         journal) pair or the new one.
         """
+        started = time.perf_counter()
         with self._lock:
             self._ensure_open()
             lsn = self.last_lsn
@@ -202,7 +233,9 @@ class ManagerPersistence:
             self._fsync_dir()
 
             self._close_writer()
-            self._writer = JournalWriter(self._journal_path(lsn), self.fsync_policy)
+            self._writer = self._wire_writer(
+                JournalWriter(self._journal_path(lsn), self.fsync_policy)
+            )
             self.snapshot_lsn = lsn
             self.snapshots_taken += 1
             for old_lsn, old_path in self._list(_SNAPSHOT_RE):
@@ -212,6 +245,8 @@ class ManagerPersistence:
                 if base < lsn:
                     os.remove(old_path)
             self._fsync_dir()
+            if self._snapshot_timer is not None:
+                self._snapshot_timer.observe(time.perf_counter() - started)
             return lsn
 
     # ------------------------------------------------------------------ stats

@@ -1,0 +1,85 @@
+"""Exporters: Prometheus text exposition and JSON for registry snapshots.
+
+Both functions operate on the plain-dict snapshots produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` (or the aggregate shape
+from :func:`repro.obs.metrics.merge_snapshots`), so they work equally for a
+single node, an RPC-scraped remote node, and a pool-wide merge.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\"", "\\\"").replace("\n", "\\n")
+
+
+def _render_labels(labels: Mapping[str, str],
+                   extra: Mapping[str, str] = ()) -> str:
+    merged: Dict[str, str] = dict(extra or {})
+    merged.update(labels)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number == int(number):
+        return str(int(number))
+    return repr(number)
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render one snapshot in the Prometheus text exposition format.
+
+    The snapshot's ``component``/``node_id`` identity is attached to every
+    sample as ``component=...,node=...`` labels so that scraped nodes stay
+    distinguishable after concatenation.
+    """
+    identity: Dict[str, str] = {}
+    if snapshot.get("component"):
+        identity["component"] = str(snapshot["component"])
+    if snapshot.get("node_id"):
+        identity["node"] = str(snapshot["node_id"])
+    lines = []
+    for name in sorted(snapshot.get("metrics", {})):
+        family = snapshot["metrics"][name]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for entry in family.get("series", []):
+            labels = entry.get("labels", {})
+            if family["type"] == "histogram":
+                for bound, count in entry.get("buckets", {}).items():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = bound
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_render_labels(bucket_labels, identity)} {count}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels, identity)} "
+                    f"{_format_value(entry.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels, identity)} "
+                    f"{entry.get('count', 0)}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels, identity)} "
+                    f"{_format_value(entry.get('value', 0.0))}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    """Render one snapshot as deterministic JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)

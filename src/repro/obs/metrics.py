@@ -1,0 +1,397 @@
+"""Thread-safe metrics registry: labeled counters, gauges and histograms.
+
+Every node-like component (manager, benefactor, client) owns one
+:class:`MetricsRegistry` stamped with a ``component`` and ``node_id``; the
+pool layers aggregate per-node snapshots with :func:`merge_snapshots`.
+
+Design constraints, in order:
+
+* **Cheap hot path.**  Recording is a dict lookup done once (callers hold on
+  to the child series object) plus a short critical section guarded by a
+  per-series lock.  When the global observability switch is off, recording
+  is a single attribute read and an early return.
+* **Exact under concurrency.**  Python's ``+=`` on an attribute is a
+  read-modify-write across bytecodes, so every mutation takes the series
+  lock; N threads x M increments sum to exactly N*M (covered by tests).
+* **No dependencies.**  Snapshots are plain dicts; the Prometheus text
+  exposition lives in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import runtime
+
+#: Default latency buckets (seconds): micro-benchmark-friendly at the low
+#: end, wide enough for multi-second snapshot/recovery work at the top.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class CounterSeries:
+    """A single labeled counter series (monotonically non-decreasing)."""
+
+    __slots__ = ("labels", "_lock", "_value")
+
+    def __init__(self, labels: Mapping[str, str]):
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not runtime.ENABLED:
+            return
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class GaugeSeries:
+    """A single labeled gauge series (free to go up and down)."""
+
+    __slots__ = ("labels", "_lock", "_value")
+
+    def __init__(self, labels: Mapping[str, str]):
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not runtime.ENABLED:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not runtime.ENABLED:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class HistogramSeries:
+    """A single labeled histogram series with cumulative-style buckets."""
+
+    __slots__ = ("labels", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(self, labels: Mapping[str, str],
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.labels = dict(labels)
+        self.buckets = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # final slot: +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not runtime.ENABLED:
+            return
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager recording the elapsed wall time of the block."""
+        if not runtime.ENABLED:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative bucket counts keyed by upper bound (Prometheus ``le``)."""
+        with self._lock:
+            counts = list(self._counts)
+        out: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            out[_format_bound(bound)] = running
+        out["+Inf"] = running + counts[-1]
+        return out
+
+
+def _format_bound(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    text = repr(bound)
+    return text
+
+
+class _MetricFamily:
+    """Common get-or-create machinery shared by the three metric kinds."""
+
+    kind = "untyped"
+    _series_cls: type = CounterSeries
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, ...], object] = {}
+        self._default = None if self.labelnames else self._make_series({})
+        if self._default is not None:
+            self._series[()] = self._default
+
+    def _make_series(self, labels: Mapping[str, str]):
+        return self._series_cls(labels)
+
+    def labels(self, **labelvalues: str):
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._make_series(
+                    {name: str(labelvalues[name]) for name in self.labelnames}
+                )
+                self._series[key] = series
+        return series
+
+    def series(self) -> List:
+        with self._lock:
+            return list(self._series.values())
+
+    # Unlabeled convenience: a family declared without labelnames behaves
+    # like its single series, so `registry.counter("x").inc()` just works.
+    def _require_default(self):
+        if self._default is None:
+            raise ValueError(
+                f"metric {self.name!r} is labeled; use .labels(...) first"
+            )
+        return self._default
+
+
+class Counter(_MetricFamily):
+    kind = "counter"
+    _series_cls = CounterSeries
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._require_default().value
+
+
+class Gauge(_MetricFamily):
+    kind = "gauge"
+    _series_cls = GaugeSeries
+
+    def set(self, value: float) -> None:
+        self._require_default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._require_default().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._require_default().value
+
+
+class Histogram(_MetricFamily):
+    kind = "histogram"
+    _series_cls = HistogramSeries
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(buckets))
+        super().__init__(name, help, labelnames)
+
+    def _make_series(self, labels: Mapping[str, str]):
+        return HistogramSeries(labels, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._require_default().observe(value)
+
+    def time(self):
+        return self._require_default().time()
+
+    @property
+    def count(self) -> int:
+        return self._require_default().count
+
+    @property
+    def sum(self) -> float:
+        return self._require_default().sum
+
+
+class MetricsRegistry:
+    """A per-node family registry stamped with component/node identity."""
+
+    def __init__(self, component: str = "", node_id: str = ""):
+        self.component = component
+        self.node_id = node_id
+        self._lock = threading.Lock()
+        self._families: Dict[str, _MetricFamily] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: Sequence[str], **kwargs):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, labelnames, **kwargs)
+                self._families[name] = family
+            elif not isinstance(family, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            elif tuple(labelnames) != family.labelnames:
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{family.labelnames}"
+                )
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def families(self) -> List[_MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def snapshot(self) -> dict:
+        """A point-in-time JSON-friendly dump of every series."""
+        metrics: Dict[str, dict] = {}
+        for family in self.families():
+            entries = []
+            for series in family.series():
+                entry: Dict[str, object] = {"labels": dict(series.labels)}
+                if isinstance(series, HistogramSeries):
+                    entry["count"] = series.count
+                    entry["sum"] = series.sum
+                    entry["buckets"] = series.bucket_counts()
+                else:
+                    entry["value"] = series.value
+                entries.append(entry)
+            metrics[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "series": entries,
+            }
+        return {
+            "component": self.component,
+            "node_id": self.node_id,
+            "metrics": metrics,
+        }
+
+
+def merge_snapshots(snapshots: Sequence[Optional[dict]]) -> dict:
+    """Aggregate per-node snapshots into one cluster-wide snapshot.
+
+    Series are summed by (metric name, label set); each input series gains a
+    ``node`` label (``component/node_id``) is *not* retained — aggregation is
+    intentionally lossy so the output reads like one logical exporter.
+    Gauges sum as well, which is the useful semantics for the gauges we
+    export (outstanding requests, failed-set sizes, routed replica load).
+    """
+    merged: Dict[str, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, family in snap.get("metrics", {}).items():
+            target = merged.setdefault(name, {
+                "type": family["type"],
+                "help": family.get("help", ""),
+                "labelnames": list(family.get("labelnames", [])),
+                "series": {},
+            })
+            for entry in family.get("series", []):
+                key = tuple(sorted(entry.get("labels", {}).items()))
+                slot = target["series"].get(key)
+                if family["type"] == "histogram":
+                    if slot is None:
+                        slot = {
+                            "labels": dict(entry.get("labels", {})),
+                            "count": 0,
+                            "sum": 0.0,
+                            "buckets": {},
+                        }
+                        target["series"][key] = slot
+                    slot["count"] += entry.get("count", 0)
+                    slot["sum"] += entry.get("sum", 0.0)
+                    for bound, count in entry.get("buckets", {}).items():
+                        slot["buckets"][bound] = (
+                            slot["buckets"].get(bound, 0) + count
+                        )
+                else:
+                    if slot is None:
+                        slot = {
+                            "labels": dict(entry.get("labels", {})),
+                            "value": 0.0,
+                        }
+                        target["series"][key] = slot
+                    slot["value"] += entry.get("value", 0.0)
+    return {
+        "component": "aggregate",
+        "node_id": "",
+        "metrics": {
+            name: {
+                "type": family["type"],
+                "help": family["help"],
+                "labelnames": family["labelnames"],
+                "series": list(family["series"].values()),
+            }
+            for name, family in merged.items()
+        },
+    }

@@ -1,0 +1,33 @@
+"""Global observability switch.
+
+All hot-path recording (counter increments, histogram observations, span
+creation, trace injection) consults a single module-level flag so that the
+entire subsystem can be turned off for overhead-sensitive comparisons —
+``bench_parallel_push`` gates the enabled/disabled delta at 5%.
+
+The flag is process-global on purpose: a pool spans many in-process nodes
+and the point of disabling observability is an apples-to-apples baseline,
+not per-node opt-out.
+"""
+
+from __future__ import annotations
+
+import threading
+
+ENABLED: bool = True
+
+_lock = threading.Lock()
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Enable or disable all metric recording and tracing; returns the prior value."""
+    global ENABLED
+    with _lock:
+        previous = ENABLED
+        ENABLED = bool(enabled)
+    return previous
+
+
+def is_enabled() -> bool:
+    """Whether observability recording is currently on."""
+    return ENABLED

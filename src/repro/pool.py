@@ -17,13 +17,14 @@ from repro.benefactor.benefactor import Benefactor
 from repro.benefactor.chunk_store import DiskChunkStore, MemoryChunkStore
 from repro.benefactor.maintenance import AntiEntropyReport, BenefactorMaintenance
 from repro.client.proxy import ClientProxy
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StdchkError
 from repro.fs.filesystem import StdchkFilesystem
 from repro.manager.garbage_collector import GarbageCollector
 from repro.manager.manager import MetadataManager
 from repro.manager.persistence import RecoveryReport
 from repro.manager.pruner import RetentionPruner
 from repro.manager.replication_service import ReplicationService
+from repro.obs import merge_snapshots
 from repro.transport.base import Transport
 from repro.transport.inprocess import InProcessTransport
 from repro.transport.tcp import TcpTransport
@@ -288,6 +289,18 @@ class StdchkPool:
         """Physical bytes held across every benefactor (replicas included)."""
         return sum(b.used_space for b in self.benefactors.values())
 
+    def metrics(self) -> Dict[str, object]:
+        """Every node's metrics snapshot plus a pool-wide aggregate.
+
+        ``nodes`` holds one registry snapshot per manager, benefactor and
+        client (each tagged with ``component``/``node_id``); ``aggregate``
+        merges them by metric name and label set.
+        """
+        nodes = [self.manager.obs.snapshot()]
+        nodes.extend(b.obs.snapshot() for b in self.benefactors.values())
+        nodes.extend(c.obs.snapshot() for c in self._clients)
+        return {"nodes": nodes, "aggregate": merge_snapshots(nodes)}
+
 
 class TcpDeployment:
     """A manager plus benefactors wired over a real localhost TCP transport.
@@ -446,6 +459,28 @@ class TcpDeployment:
             manager_address=self.manager_address,
             config=effective,
         )
+
+    def scrape(self) -> Dict[str, object]:
+        """Collect metrics from every reachable node over the wire.
+
+        Uses the ``get_metrics`` RPC — the same path an external scraper
+        would take — so the result reflects exactly what each node exports.
+        Unreachable nodes are skipped rather than failing the scrape.
+        """
+        nodes: List[Dict[str, object]] = []
+        try:
+            nodes.append(self.transport.call(self.manager_address, "get_metrics"))
+        except StdchkError:
+            pass
+        for benefactor in self.benefactors:
+            if not benefactor.online:
+                continue
+            try:
+                bound = self.transport.bound_address(benefactor.address)
+                nodes.append(self.transport.call(bound, "get_metrics"))
+            except StdchkError:
+                continue
+        return {"nodes": nodes, "aggregate": merge_snapshots(nodes)}
 
     def close(self) -> None:
         self.transport.close()

@@ -15,7 +15,6 @@ are advanced at the old rates and all rates are recomputed.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set
 
 from repro.exceptions import SimulationError

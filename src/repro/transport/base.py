@@ -9,9 +9,11 @@ in-process (tests, benchmarks) or spread over TCP sockets.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import ExitStack
 from typing import Any, Callable, Dict
 
-from repro.exceptions import EndpointUnreachableError, ProtocolError
+from repro.exceptions import ProtocolError
+from repro.obs import runtime, tracing
 
 
 class Endpoint(ABC):
@@ -20,6 +22,11 @@ class Endpoint(ABC):
     Exported methods are ordinary public methods; the transport dispatches a
     call ``(method, payload)`` to ``getattr(endpoint, method)(**payload)``.
     Methods prefixed with ``_`` are never exported.
+
+    Observability hooks (all optional): an endpoint exposing an ``obs``
+    :class:`~repro.obs.MetricsRegistry` gets per-method server-side RPC
+    latency histograms for free, and ``obs_component``/``obs_node_id``
+    attributes stamp identity onto server-side trace spans.
     """
 
     def exported_methods(self) -> Dict[str, Callable[..., Any]]:
@@ -34,13 +41,40 @@ class Endpoint(ABC):
         return methods
 
     def dispatch(self, method: str, payload: Dict[str, Any]) -> Any:
-        """Invoke ``method`` with keyword arguments ``payload``."""
+        """Invoke ``method`` with keyword arguments ``payload``.
+
+        The reserved ``__trace__`` payload key (injected by the transports'
+        client side) is stripped before the handler sees its arguments and
+        opens a server-side span parented to the caller's context.
+        """
         if method.startswith("_"):
             raise ProtocolError(f"refusing to dispatch private method {method!r}")
         handler = getattr(self, method, None)
         if handler is None or not callable(handler):
             raise ProtocolError(f"endpoint has no method {method!r}")
-        return handler(**payload)
+        ctx = tracing.extract(payload)
+        if not runtime.ENABLED:
+            return handler(**payload)
+        registry = getattr(self, "obs", None)
+        if ctx is None and registry is None:
+            return handler(**payload)
+        with ExitStack() as stack:
+            if registry is not None:
+                stack.enter_context(
+                    registry.histogram(
+                        "rpc_handled_seconds",
+                        "Server-side RPC handling latency by method.",
+                        labelnames=("method",),
+                    ).labels(method=method).time()
+                )
+            if ctx is not None:
+                stack.enter_context(tracing.start_span(
+                    f"rpc.server:{method}",
+                    component=getattr(self, "obs_component", ""),
+                    node_id=getattr(self, "obs_node_id", ""),
+                    parent=ctx,
+                ))
+            return handler(**payload)
 
 
 class Transport(ABC):

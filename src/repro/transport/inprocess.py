@@ -17,6 +17,7 @@ import threading
 from typing import Any, Callable, Dict, Optional, Set
 
 from repro.exceptions import EndpointUnreachableError
+from repro.obs import runtime, tracing
 from repro.transport.base import Endpoint, Transport
 
 #: Optional hook invoked before every call: (address, method, payload) -> None.
@@ -76,6 +77,16 @@ class InProcessTransport(Transport):
             self.call_counts[(address, method)] = (
                 self.call_counts.get((address, method), 0) + 1
             )
+        ctx = tracing.current_context() if runtime.ENABLED else None
+        if ctx is None:
+            return self._deliver(address, method, payload, endpoint, disconnected)
+        with tracing.start_span(f"rpc:{method}", component="rpc-client",
+                                attributes={"address": address}):
+            tracing.inject(payload)
+            return self._deliver(address, method, payload, endpoint, disconnected)
+
+    def _deliver(self, address: str, method: str, payload: Dict[str, Any],
+                 endpoint: Optional[Endpoint], disconnected: bool) -> Any:
         if endpoint is None:
             raise EndpointUnreachableError(
                 f"no endpoint registered at {address!r}", endpoint=address

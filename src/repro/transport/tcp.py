@@ -21,6 +21,7 @@ import threading
 from typing import Any, Dict, Optional
 
 from repro.exceptions import EndpointUnreachableError, ProtocolError
+from repro.obs import runtime, tracing
 from repro.transport.base import Endpoint, Transport
 
 _LENGTH = struct.Struct(">Q")
@@ -272,6 +273,15 @@ class TcpTransport(Transport):
             return pool
 
     def call(self, address: str, method: str, /, **payload: Any) -> Any:
+        ctx = tracing.current_context() if runtime.ENABLED else None
+        if ctx is None:
+            return self._call(address, method, payload)
+        with tracing.start_span(f"rpc:{method}", component="rpc-client",
+                                attributes={"address": address}):
+            tracing.inject(payload)
+            return self._call(address, method, payload)
+
+    def _call(self, address: str, method: str, payload: Dict[str, Any]) -> Any:
         pool = self._pool(address)
         sock = pool.checkout()
         try:

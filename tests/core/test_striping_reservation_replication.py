@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.chunk_map import ShadowChunkMap
 from repro.core.replication import ReplicationState, ReplicationTask, ReplicationTaskState
-from repro.core.reservation import Reservation, ReservationTable
+from repro.core.reservation import ReservationTable
 from repro.core.striping import (
     BenefactorView,
     FreeSpaceStriping,

@@ -9,7 +9,6 @@ from repro.util.config import (
     RetentionPolicyKind,
     SimilarityHeuristic,
     WriteProtocol,
-    WriteSemantics,
 )
 from repro.util.naming import CheckpointName
 from repro.util.units import MiB

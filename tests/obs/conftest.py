@@ -1,0 +1,17 @@
+"""Shared fixtures for observability tests: clean span store, obs enabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SPAN_STORE, set_enabled
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Every test starts with an empty span store and observability on."""
+    SPAN_STORE.clear()
+    set_enabled(True)
+    yield
+    SPAN_STORE.clear()
+    set_enabled(True)

@@ -1,0 +1,232 @@
+"""End-to-end observability: exporters, scrape RPC, TCP traces, load hints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import StdchkConfig, StdchkPool, TcpDeployment, to_prometheus
+from repro.client.read_path import ReplicaScheduler
+from repro.exceptions import ReadFailedError
+from repro.obs import SPAN_STORE, MetricsRegistry
+
+CHUNK = 64 * 1024
+
+
+def _metric_value(snapshot: dict, name: str, **labels) -> float:
+    family = snapshot["metrics"].get(name)
+    if family is None:
+        return 0.0
+    for entry in family["series"]:
+        if all(entry["labels"].get(k) == v for k, v in labels.items()):
+            return entry.get("value", entry.get("count", 0.0))
+    return 0.0
+
+
+class TestPoolMetrics:
+    def test_every_component_snapshots_into_pool_metrics(self, small_config):
+        pool = StdchkPool(benefactor_count=3, config=small_config)
+        client = pool.client()
+        data = b"m" * (4 * CHUNK)
+        client.write_file("/app/m.N0.T1", data)
+        assert client.read_file("/app/m.N0.T1") == data
+
+        report = pool.metrics()
+        components = {snap["component"] for snap in report["nodes"]}
+        assert components == {"manager", "benefactor", "client"}
+
+        aggregate = report["aggregate"]
+        assert _metric_value(aggregate, "manager_transactions_total") > 0
+        assert _metric_value(aggregate, "benefactor_puts_total") > 0
+        assert _metric_value(aggregate, "benefactor_gets_total") > 0
+        assert _metric_value(aggregate, "client_bytes_written_total") == len(data)
+        assert _metric_value(aggregate, "client_read_bytes_total") == len(data)
+        # The base dispatch layer timed every handled RPC method.
+        rpc = aggregate["metrics"]["rpc_handled_seconds"]
+        methods = {entry["labels"]["method"] for entry in rpc["series"]}
+        assert {"create_session", "get_chunk_map", "put_chunk"} <= methods
+
+        text = to_prometheus(aggregate)
+        assert "# TYPE manager_transactions_total counter" in text
+
+    def test_benefactor_stats_view_matches_registry(self, small_config):
+        pool = StdchkPool(benefactor_count=2, config=small_config)
+        client = pool.client()
+        client.write_file("/app/s.N0.T1", b"s" * (2 * CHUNK))
+        benefactor = next(iter(pool.benefactors.values()))
+        stats = benefactor.stats
+        snap = benefactor.obs.snapshot()
+        assert stats["puts"] == _metric_value(snap, "benefactor_puts_total")
+        assert stats["bytes_in"] == _metric_value(snap, "benefactor_bytes_in_total")
+
+    def test_journal_timings_recorded_when_persistence_enabled(
+        self, small_config, tmp_path
+    ):
+        config = small_config.with_overrides(
+            journal_dir=str(tmp_path / "journal"), journal_fsync_policy="commit"
+        )
+        pool = StdchkPool(benefactor_count=2, config=config)
+        pool.client().write_file("/app/j.N0.T1", b"j" * CHUNK)
+        snap = pool.manager.obs.snapshot()
+        assert _metric_value(snap, "journal_append_seconds") > 0
+        assert _metric_value(snap, "journal_fsync_seconds") > 0
+
+
+class TestScrapeOverTcp:
+    def test_get_metrics_rpc_and_scrape_aggregate(self):
+        config = StdchkConfig(chunk_size=CHUNK, stripe_width=2,
+                              replication_level=2)
+        with TcpDeployment(benefactor_count=2, config=config) as deployment:
+            client = deployment.client("scraper")
+            data = b"t" * (3 * CHUNK)
+            client.write_file("/tcp/scrape", data)
+
+            direct = deployment.transport.call(
+                deployment.manager_address, "get_metrics"
+            )
+            assert direct["component"] == "manager"
+
+            report = deployment.scrape()
+            components = sorted(snap["component"] for snap in report["nodes"])
+            assert components == ["benefactor", "benefactor", "manager"]
+            aggregate = report["aggregate"]
+            assert _metric_value(aggregate, "benefactor_puts_total") >= 3
+
+    def test_scrape_skips_killed_benefactor(self):
+        config = StdchkConfig(chunk_size=CHUNK, stripe_width=2,
+                              replication_level=1)
+        with TcpDeployment(benefactor_count=2, config=config) as deployment:
+            deployment.kill_benefactor(
+                deployment.benefactors[0].benefactor_id
+            )
+            report = deployment.scrape()
+            components = sorted(snap["component"] for snap in report["nodes"])
+            assert components == ["benefactor", "manager"]
+
+
+class TestTcpTracePropagation:
+    def test_single_write_and_read_yield_linked_traces(self):
+        config = StdchkConfig(chunk_size=CHUNK, stripe_width=2,
+                              replication_level=2)
+        with TcpDeployment(benefactor_count=2, config=config) as deployment:
+            client = deployment.client("tracer")
+            data = b"x" * (3 * CHUNK)
+            client.write_file("/tcp/trace", data)
+            assert client.read_file("/tcp/trace") == data
+
+        roots = {s.name: s for s in SPAN_STORE.spans() if s.parent_id is None}
+        assert {"client.write_file", "client.read_file"} <= set(roots)
+        traces = SPAN_STORE.traces()
+        for root_name in ("client.write_file", "client.read_file"):
+            spans = traces[roots[root_name].trace_id]
+            assert {"client", "manager", "benefactor"} <= {
+                s.component for s in spans
+            }
+            assert all(s.trace_id == roots[root_name].trace_id for s in spans)
+
+    def test_killed_benefactor_mid_read_leaves_error_annotated_tree(self):
+        config = StdchkConfig(chunk_size=CHUNK, stripe_width=2,
+                              replication_level=1)
+        with TcpDeployment(benefactor_count=2, config=config) as deployment:
+            client = deployment.client("mourner")
+            data = b"y" * (4 * CHUNK)
+            client.write_file("/tcp/doomed", data)
+            deployment.kill_benefactor(
+                deployment.benefactors[0].benefactor_id
+            )
+            SPAN_STORE.clear()
+            with pytest.raises(ReadFailedError):
+                client.read_file("/tcp/doomed")
+
+        root = next(
+            s for s in SPAN_STORE.spans() if s.name == "client.read_file"
+        )
+        assert root.status == "error"
+        spans = SPAN_STORE.traces()[root.trace_id]
+        # The metadata lookup succeeded before the data path hit the corpse.
+        assert any(
+            s.name == "rpc.server:get_chunk_map" and s.status == "ok"
+            for s in spans
+        )
+        # The failed fetch left an error-annotated client-side tombstone.
+        failed = [
+            s for s in spans
+            if s.name == "rpc:get_chunk" and s.status == "error"
+        ]
+        assert failed
+        assert all(s.trace_id == root.trace_id for s in spans)
+
+
+class TestLoadHints:
+    def test_get_chunk_map_returns_cumulative_load_hints(self, small_config):
+        pool = StdchkPool(benefactor_count=3, config=small_config)
+        client = pool.client()
+        client.write_file("/app/h.N0.T1", b"h" * (2 * CHUNK))
+        first = pool.manager.get_chunk_map(path="/app/h.N0.T1")
+        second = pool.manager.get_chunk_map(path="/app/h.N0.T1")
+        assert set(first["load_hints"]) == set(first["addresses"])
+        for benefactor_id, count in second["load_hints"].items():
+            assert count >= first["load_hints"][benefactor_id]
+        assert sum(second["load_hints"].values()) > 0
+
+    def test_scheduler_breaks_ties_with_load_hints(self):
+        scheduler = ReplicaScheduler()
+        scheduler.note_load_hints({"busy": 10, "idle": 0})
+        # No outstanding requests anywhere: the cluster-wide hint decides.
+        for _ in range(4):
+            assert scheduler.order(["busy", "idle"])[0] == "idle"
+
+    def test_outstanding_requests_trump_load_hints(self):
+        scheduler = ReplicaScheduler()
+        scheduler.note_load_hints({"a": 10, "b": 0})
+        scheduler.begin("b")
+        assert scheduler.order(["a", "b"])[0] == "a"
+
+    def test_scheduler_exports_gauges(self):
+        registry = MetricsRegistry(component="client", node_id="c0")
+        scheduler = ReplicaScheduler(metrics=registry)
+        scheduler.begin("b0")
+        scheduler.begin("b0")
+        scheduler.mark_failed("b1")
+        snap = registry.snapshot()
+        assert _metric_value(
+            snap, "replica_outstanding_requests", benefactor="b0"
+        ) == 2
+        assert _metric_value(snap, "replica_failed_benefactors") == 1
+        scheduler.end("b0")
+        scheduler.mark_alive("b1")
+        snap = registry.snapshot()
+        assert _metric_value(
+            snap, "replica_outstanding_requests", benefactor="b0"
+        ) == 1
+        assert _metric_value(snap, "replica_failed_benefactors") == 0
+
+    def test_reads_route_to_cluster_idle_replica(self, small_config):
+        # Two benefactors hold every chunk of the shared file (replication
+        # 2).  A second, single-replica file makes one of them the target of
+        # many chunk-map lookups, so the manager's hints mark it busy — and a
+        # fresh client's reads of the shared file should then prefer the
+        # other node.
+        config = small_config.with_overrides(stripe_width=2,
+                                             replication_level=2)
+        pool = StdchkPool(benefactor_count=2, config=config)
+        writer = pool.client("writer")
+        data = b"r" * (4 * CHUNK)
+        writer.write_file("/app/r.N0.T1", data)
+        pool.stabilize()  # both benefactors now hold every chunk
+
+        session = writer.open_write("/app/solo.N0.T1", replication_level=1)
+        session.write(b"s" * CHUNK)
+        session.close()
+        solo_map = pool.manager.get_chunk_map(path="/app/solo.N0.T1")
+        busy_id = solo_map["chunk_map"]["placements"][0]["benefactors"][0]
+        idle_id = next(b for b in pool.benefactors if b != busy_id)
+        for _ in range(10):
+            pool.manager.get_chunk_map(path="/app/solo.N0.T1")
+
+        busy, idle = pool.benefactors[busy_id], pool.benefactors[idle_id]
+        busy_gets_before = busy.stats["gets"]
+        idle_gets_before = idle.stats["gets"]
+        client = pool.client("reader")
+        assert client.read_file("/app/r.N0.T1") == data
+        assert busy.stats["gets"] == busy_gets_before
+        assert idle.stats["gets"] == idle_gets_before + 4
