@@ -22,10 +22,23 @@ from typing import Dict, Optional
 
 from repro.exceptions import (
     EndpointUnreachableError,
+    ManagerRecoveringError,
     ManagerUnavailableError,
+    NotPrimaryError,
     UnknownBenefactorError,
 )
 from repro.obs import component_logger
+
+#: Manager states worth skipping a beat over (soft state heals itself): the
+#: endpoint is gone, deliberately failed, replaying its journal, or a standby
+#: that has not been promoted yet.  ``UnknownBenefactorError`` is handled
+#: separately — it means the manager *answers* but forgot us.
+_TRANSIENT_MANAGER_ERRORS = (
+    EndpointUnreachableError,
+    ManagerRecoveringError,
+    ManagerUnavailableError,
+    NotPrimaryError,
+)
 
 
 class HeartbeatService:
@@ -74,8 +87,11 @@ class HeartbeatService:
                 inventory_digest=benefactor.inventory_digest(),
             )
         except UnknownBenefactorError:
-            # A restarted manager lost the soft registration: re-register,
-            # which re-advertises the inventory and absorbs repair hints.
+            # Manager amnesia, in either form: a restarted manager lost the
+            # soft registration, or a *promoted standby* never saw this node
+            # at all (it registered after the last shipped record).  Both
+            # answer but don't know us — re-register, which re-advertises
+            # the full inventory and absorbs repair hints.
             self._log.info(
                 "manager at %s forgot us; re-registering with full inventory",
                 self.manager_address,
@@ -88,7 +104,7 @@ class HeartbeatService:
                 self._beat_counter.inc()
             self._refresh_peers()
             return {"acknowledged": True, "inventory_requested": False}
-        except (EndpointUnreachableError, ManagerUnavailableError) as exc:
+        except _TRANSIENT_MANAGER_ERRORS as exc:
             # Soft state: a missed beat just expires us a little sooner.
             self._log.info("manager at %s unreachable, heartbeat skipped: %s",
                            self.manager_address, exc)
@@ -109,7 +125,7 @@ class HeartbeatService:
         try:
             records = benefactor.transport.call(self.manager_address,
                                                 "list_benefactors")
-        except (EndpointUnreachableError, ManagerUnavailableError) as exc:
+        except _TRANSIENT_MANAGER_ERRORS as exc:
             self._log.debug("peer refresh from %s failed: %s",
                             self.manager_address, exc)
             return

@@ -9,8 +9,12 @@ on this class; applications that prefer an explicit API can use it directly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+import random
+import zlib
+from contextlib import nullcontext
+from typing import Dict, Iterator, List, Optional, Sequence
 
+from repro.client.failover import FailoverTransport, ManagerDirectory
 from repro.client.read_path import ReplicaScheduler, StripedReader
 from repro.client.session import WriteStats
 from repro.client.write_protocols import WriteSession, make_write_session
@@ -34,13 +38,22 @@ class ClientProxy:
         config: Optional[StdchkConfig] = None,
         clock: Optional[Clock] = None,
         spool_dir: Optional[str] = None,
+        standby_addresses: Optional[Sequence[str]] = None,
     ) -> None:
         self.client_id = client_id
+        self._base_transport = transport
         self.transport = transport
         self.manager_address = manager_address
         self.config = config if config is not None else StdchkConfig()
         self.clock = clock if clock is not None else SystemClock()
         self.spool_dir = spool_dir
+        #: Deterministic per-client sampler for root trace spans (children
+        #: always follow the parent decision, so a sampled-out root
+        #: suppresses its whole RPC tree).
+        self._trace_rng = random.Random(zlib.crc32(client_id.encode("utf-8")))
+        #: Manager failover directory; None until the client knows at least
+        #: one standby endpoint (config or ``enable_failover``).
+        self.directory: Optional[ManagerDirectory] = None
         #: Aggregated statistics across every session opened by this client.
         self.lifetime_stats = WriteStats()
         #: Per-client metrics registry; every session/reader opened by this
@@ -67,10 +80,57 @@ class ClientProxy:
                 "stripe_refreshes", "ack_batches",
             )
         }
+        standbys = tuple(self.config.standby_endpoints)
+        if standby_addresses:
+            standbys += tuple(standby_addresses)
+        if standbys or getattr(transport, "supports_failover", False):
+            self.enable_failover(standbys)
+
+    # -- manager failover ------------------------------------------------------
+    def enable_failover(self, standby_addresses: Sequence[str] = ()) -> None:
+        """Route manager RPCs through the retry-and-rediscover layer.
+
+        Idempotent: late-learned standbys (``StdchkPool.add_standby`` on a
+        pool with existing clients) merge into the directory.  Sessions and
+        readers opened afterwards inherit the wrapped transport.
+        """
+        if self.directory is not None:
+            self.directory.note_candidates(standby_addresses)
+            return
+        if getattr(self._base_transport, "supports_failover", False):
+            # Caller handed us an already-wrapped transport: share its
+            # directory instead of stacking a second retry loop.
+            self.directory = self._base_transport.directory
+            self.directory.note_candidates([self.manager_address])
+            self.directory.note_candidates(standby_addresses)
+            return
+        self.directory = ManagerDirectory(
+            [self.manager_address, *standby_addresses]
+        )
+        self.transport = FailoverTransport(
+            self._base_transport, self.directory,
+            config=self.config, obs=self.obs,
+        )
 
     # -- manager sugar -------------------------------------------------------
     def _manager(self, method: str, **payload):
         return self.transport.call(self.manager_address, method, **payload)
+
+    def _root_span(self, name: str, **attributes):
+        """Open a sampled root span (children follow the parent decision).
+
+        When a trace context is already active this is an ordinary child
+        span — sampling only gates *roots*, so one decision covers the whole
+        RPC tree of an operation.
+        """
+        rate = self.config.trace_sample_rate
+        if (rate < 1.0 and tracing.current_context() is None
+                and self._trace_rng.random() >= rate):
+            return nullcontext()
+        return tracing.start_span(
+            name, component="client", node_id=self.client_id,
+            attributes=attributes,
+        )
 
     # -- namespace -------------------------------------------------------------
     def mkdir(self, path: str, retention_kind: Optional[str] = None,
@@ -155,10 +215,7 @@ class ClientProxy:
         (applications usually write in small blocks while remote storage is
         accessed in ~1 MB chunks); 0 writes everything in one call.
         """
-        with tracing.start_span(
-            "client.write_file", component="client", node_id=self.client_id,
-            attributes={"path": path, "bytes": len(data)},
-        ):
+        with self._root_span("client.write_file", path=path, bytes=len(data)):
             with self._write_seconds.time():
                 session = self.open_write(
                     path, expected_size=len(data), producer=producer,
@@ -235,10 +292,7 @@ class ClientProxy:
 
     def read_file(self, path: str, version: Optional[int] = None) -> bytes:
         """Read a whole file (a checkpoint image for a restart)."""
-        with tracing.start_span(
-            "client.read_file", component="client", node_id=self.client_id,
-            attributes={"path": path},
-        ):
+        with self._root_span("client.read_file", path=path):
             with self._read_seconds.time():
                 return self.open_read(path, version=version).read_all()
 

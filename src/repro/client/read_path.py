@@ -74,7 +74,8 @@ class ReplicaScheduler:
         self._outstanding: Dict[str, int] = {}
         self._rotation = 0
         #: Manager-provided cluster-wide load proxy (higher = busier).
-        self._load_hints: Dict[str, int] = {}
+        #: Floats: the manager's tallies decay with ``read_load_halflife``.
+        self._load_hints: Dict[str, float] = {}
         if metrics is not None:
             self._outstanding_gauge = metrics.gauge(
                 "replica_outstanding_requests",
@@ -131,7 +132,7 @@ class ReplicaScheduler:
                 rotated += [b for b in benefactors if b not in healthy]
             return rotated
 
-    def note_load_hints(self, hints: Optional[Mapping[str, int]]) -> None:
+    def note_load_hints(self, hints: Optional[Mapping[str, float]]) -> None:
         """Absorb the manager's per-benefactor read-routing counts.
 
         Later hints overwrite earlier ones per benefactor; counts for nodes
@@ -142,7 +143,9 @@ class ReplicaScheduler:
             return
         with self._lock:
             for benefactor_id, count in hints.items():
-                self._load_hints[str(benefactor_id)] = int(count)
+                # Float, not int: decayed manager tallies lose their
+                # ordering if truncated (0.7 vs 0.2 must not both become 0).
+                self._load_hints[str(benefactor_id)] = float(count)
 
     def begin(self, benefactor_id: str) -> None:
         with self._lock:

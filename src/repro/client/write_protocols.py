@@ -39,7 +39,12 @@ from abc import ABC, abstractmethod
 from typing import Dict, List, Optional
 
 from repro.client.session import ChunkPusher, WriteStats
-from repro.exceptions import SessionStateError
+from repro.exceptions import (
+    CommitConflictError,
+    SessionStateError,
+    StdchkError,
+    UnknownDatasetError,
+)
 from repro.obs import MetricsRegistry
 from repro.transport.base import Transport
 from repro.util.clock import Clock, SystemClock
@@ -119,28 +124,82 @@ class WriteSession(ABC):
         self._drain()
         chunk_map = self.pusher.finish()
         self.storage_complete_time = self.clock.now()
-        result = self.transport.call(
-            self.manager_address,
-            "commit_session",
-            session_id=self.session_id,
+        result = self._commit(chunk_map, attributes or {})
+        self.committed = True
+        self.close_time = self.clock.now()
+        return result
+
+    def _commit(self, chunk_map, attributes: Dict[str, str]) -> Dict[str, object]:
+        """Commit the chunk-map, absorbing failover-induced duplication.
+
+        Behind a failover transport a commit may be *retried* against a
+        promoted standby after the first attempt's fate became unknowable
+        (the old primary died mid-RPC).  Two outcomes need idempotence-aware
+        handling, both gated on ``supports_failover`` so single-manager
+        clients keep strict semantics:
+
+        * ``CommitConflictError("already committed")`` — the first attempt
+          landed and its commit record shipped before the death: the version
+          is durable, synthesize the success answer.
+        * ``UnknownDatasetError`` — the session's ``create_session`` record
+          never reached the standby (it was buffered, not yet shipped):
+          replay the whole session — re-open the same path and commit the
+          same chunk-map, whose chunks already sit on the benefactors.
+        """
+        payload = dict(
             chunk_map=chunk_map.to_dict(),
             size=self.pusher.total_size,
             producer=self.producer,
             timestep=self.timestep,
-            attributes=attributes or {},
+            attributes=attributes,
         )
-        self.committed = True
-        self.close_time = self.clock.now()
-        return result
+        failover = getattr(self.transport, "supports_failover", False)
+        try:
+            return self.transport.call(
+                self.manager_address, "commit_session",
+                session_id=self.session_id, **payload,
+            )
+        except CommitConflictError as exc:
+            if not failover or "already committed" not in str(exc):
+                raise
+            return {
+                "committed": True,
+                "dataset_id": self.session_info["dataset_id"],
+                "version": self.session_info["version"],
+                "size": self.pusher.total_size,
+            }
+        except UnknownDatasetError:
+            if not failover:
+                raise
+            session_info = self.transport.call(
+                self.manager_address, "create_session",
+                path=self.session_info["path"],
+                client_id=self.session_info["client_id"],
+                expected_size=self.pusher.total_size,
+            )
+            self.session_info = session_info
+            return self.transport.call(
+                self.manager_address, "commit_session",
+                session_id=session_info["session_id"], **payload,
+            )
 
     def abort(self) -> None:
         """Abandon the session; pushed chunks become orphans for GC."""
         if self.committed or self.aborted:
             return
         self.pusher.cancel()
-        self.transport.call(
-            self.manager_address, "abort_session", session_id=self.session_id
-        )
+        try:
+            self.transport.call(
+                self.manager_address, "abort_session", session_id=self.session_id
+            )
+        except StdchkError:
+            # Abort is best-effort cleanup: behind a failover transport the
+            # promoted standby may never have seen this session, and callers
+            # abort while propagating the *original* error — masking it with
+            # a cleanup failure helps nobody.  The reservation lease expires
+            # on its own; orphan chunks fall to GC.
+            if not getattr(self.transport, "supports_failover", False):
+                raise
         self.aborted = True
         self.close_time = self.clock.now()
 

@@ -65,6 +65,25 @@ class ManagerRecoveringError(ManagerError):
     """
 
 
+class NotPrimaryError(ManagerError):
+    """The contacted manager is a standby replica, not the serving primary.
+
+    Standbys apply the primary's shipped journal but refuse normal client
+    and benefactor RPCs until promoted; callers are expected to re-resolve
+    the active primary (``primary_address`` carries the standby's best hint
+    when it has one) and retry there.
+    """
+
+    def __init__(self, message: str = "",
+                 primary_address: "str | None" = None) -> None:
+        super().__init__(message)
+        self.primary_address = primary_address
+
+    def __reduce__(self):
+        # Keep the hint across pickling (TCP frames carry exceptions).
+        return (type(self), (str(self), self.primary_address))
+
+
 class JournalCorruptError(ManagerError):
     """A journal or snapshot file is unreadable beyond torn-tail damage."""
 

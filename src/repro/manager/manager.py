@@ -95,6 +95,10 @@ class MetadataManager(Endpoint):
         self.registry = BenefactorRegistry(heartbeat_timeout=self.config.heartbeat_timeout)
         self.reservations = ReservationTable(default_lease=self.config.reservation_lease)
         self.striping = striping if striping is not None else RoundRobinStriping()
+        #: ``"primary"`` serves clients and benefactors; ``"standby"``
+        #: (see :class:`~repro.manager.replication.StandbyManager`) applies
+        #: shipped journal records and refuses normal RPCs until promoted.
+        self.role = "primary"
         self.online = True
         #: True while the manager replays its journal; RPCs fail fast with
         #: :class:`ManagerRecoveringError` instead of racing half-restored state.
@@ -111,11 +115,15 @@ class MetadataManager(Endpoint):
             "manager_transactions_total",
             "Client- and benefactor-facing calls handled.",
         )
-        #: Cumulative count of replica placements handed out by
+        #: Decayed count of replica placements handed out by
         #: ``get_chunk_map`` answers, per benefactor — a cluster-wide
         #: read-routing load proxy, also returned as ``load_hints`` so the
         #: client's ReplicaScheduler can break ties with pool-wide knowledge.
-        self._read_load: Dict[str, int] = {}
+        #: Each tally decays exponentially with half-life
+        #: ``config.read_load_halflife`` so hints reflect *current* load
+        #: rather than lifetime totals (0 keeps the cumulative tally).
+        self._read_load: Dict[str, float] = {}
+        self._read_load_updated: Dict[str, float] = {}
         self._read_load_lock = threading.Lock()
         self._read_load_gauge = self.obs.gauge(
             "manager_read_routing_load",
@@ -131,6 +139,9 @@ class MetadataManager(Endpoint):
         self._persistence = persistence
         if self._persistence is not None:
             self._persistence.attach_metrics(self.obs)
+        #: Log shipper streaming journal records to standby managers; wired
+        #: by the deployment helpers via :meth:`attach_shipper`.
+        self._shipper = None
 
         self._datasets: Dict[str, DatasetMetadata] = {}
         self._replication_targets: Dict[str, int] = {}
@@ -191,6 +202,25 @@ class MetadataManager(Endpoint):
         """Metrics-snapshot RPC for scrapers (served even while recovering)."""
         return self.obs.snapshot()
 
+    def manager_status(self) -> Dict[str, object]:
+        """Role/liveness probe for failover discovery.
+
+        Served regardless of ``online``/``recovering`` (like ``get_metrics``)
+        so a client's manager directory can tell a promoted primary from a
+        standby, a recovering manager, or a deliberately failed one without
+        tripping the fail-fast guards.
+        """
+        return {
+            "manager_id": self.manager_id,
+            "role": self.role,
+            "online": self.online,
+            "recovering": self.recovering,
+            "last_lsn": (
+                self._persistence.last_lsn if self._persistence is not None
+                else getattr(self._shipper, "last_lsn", 0)
+            ),
+        }
+
     def fail(self) -> None:
         """Simulate a manager failure (every call raises until recovery)."""
         self.online = False
@@ -229,20 +259,51 @@ class MetadataManager(Endpoint):
         itself offline and propagates the error; a restart recovers the
         consistent journal prefix.
         """
-        if self._persistence is None or self._replaying:
+        if self._replaying:
+            return
+        if self._persistence is None and self._shipper is None:
             return
         with self._meta_lock:
-            try:
-                self._persistence.append(op, payload, durable=durable)
-                if self._persistence.should_snapshot():
-                    self._persistence.take_snapshot(encode_manager_state(self))
-            except Exception:
-                self.online = False
-                raise
+            lsn = None
+            if self._persistence is not None:
+                try:
+                    lsn = self._persistence.append(op, payload, durable=durable)
+                    if self._persistence.should_snapshot():
+                        self._persistence.take_snapshot(encode_manager_state(self))
+                except Exception:
+                    self.online = False
+                    raise
+            if self._shipper is not None:
+                # Shipping under the meta lock pins the stream order to the
+                # application order; a standby therefore never observes a
+                # record permutation the primary did not serve.  Shipper
+                # failures are fail-stop like journal appends: a record the
+                # primary acknowledged but neither journaled nor shipped
+                # would be lost to every successor.
+                try:
+                    self._shipper.offer(
+                        {"op": op, "data": payload}, lsn=lsn, durable=durable
+                    )
+                except Exception:
+                    self.online = False
+                    raise
 
     @property
     def persistence(self) -> Optional[ManagerPersistence]:
         return self._persistence
+
+    @property
+    def shipper(self):
+        return self._shipper
+
+    def attach_shipper(self, shipper) -> None:
+        """Stream every subsequent journal record through ``shipper``.
+
+        Works with or without a journal directory: the shipper receives the
+        same logical redo records the journal would, so an in-memory manager
+        can still replicate to hot standbys.
+        """
+        self._shipper = shipper
 
     def close_persistence(self) -> None:
         """Release the journal file handle (restart helpers call this)."""
@@ -785,6 +846,11 @@ class MetadataManager(Endpoint):
             "chunk_size": self.config.chunk_size,
             "reservation_id": reservation.reservation_id,
             "replication_level": replication,
+            # Echoed so a failover-aware client can replay the whole session
+            # (re-open + re-commit) against a promoted standby that never
+            # received this session's journal record.
+            "path": session.path,
+            "client_id": client_id,
         }
 
     def extend_stripe(self, session_id: str, additional_space: int = 0) -> Dict[str, object]:
@@ -897,6 +963,16 @@ class MetadataManager(Endpoint):
         return [s for s in self._sessions.values() if s.active]
 
     # ------------------------------------------------------------------- reads
+    def _decayed_load(self, benefactor_id: str, now: float) -> float:
+        """Current read-routing tally of one benefactor (call under the lock)."""
+        value = self._read_load.get(benefactor_id, 0.0)
+        halflife = self.config.read_load_halflife
+        if value and halflife > 0:
+            elapsed = now - self._read_load_updated.get(benefactor_id, now)
+            if elapsed > 0:
+                value *= 0.5 ** (elapsed / halflife)
+        return value
+
     def get_chunk_map(self, path: str, version: Optional[int] = None) -> Dict[str, object]:
         """Return the chunk-map of ``path`` (latest version by default)."""
         self._require_online()
@@ -914,15 +990,17 @@ class MetadataManager(Endpoint):
             if benefactor_id in self.registry:
                 addresses[benefactor_id] = self.registry.address_of(benefactor_id)
         # Tally the replica placements this answer routes readers toward and
-        # hand the cumulative per-benefactor counts back as load hints: the
+        # hand the decayed per-benefactor counts back as load hints: the
         # client's ReplicaScheduler uses them as a cluster-wide tie-breaker
         # on top of its own (client-local) outstanding counts.
+        now = self.clock.now()
         with self._read_load_lock:
             for placement in record.chunk_map:
                 for holder in placement.benefactors:
-                    self._read_load[holder] = self._read_load.get(holder, 0) + 1
+                    self._read_load[holder] = self._decayed_load(holder, now) + 1.0
+                    self._read_load_updated[holder] = now
             load_hints = {
-                benefactor_id: self._read_load.get(benefactor_id, 0)
+                benefactor_id: round(self._decayed_load(benefactor_id, now), 6)
                 for benefactor_id in addresses
             }
         for benefactor_id, load in load_hints.items():

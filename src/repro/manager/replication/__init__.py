@@ -1,0 +1,25 @@
+"""Manager replication: journal log shipping to hot standby managers.
+
+The primary manager already produces a CRC-framed write-ahead journal of
+logical redo records (:mod:`repro.manager.persistence`); this package streams
+those same records to one or more standby managers over the ordinary RPC
+transports, so a standby can be promoted when the primary dies:
+
+* :class:`LogShipper` — attached to the primary via
+  :meth:`MetadataManager.attach_shipper`; buffers records, tracks each
+  standby's acknowledged LSN, flushes on durability points (or every
+  ``ship_batch_records``), and falls back to a full snapshot transfer when a
+  standby lags beyond the retained window.
+* :class:`StandbyManager` — a :class:`MetadataManager` that refuses normal
+  client/benefactor RPCs with :class:`~repro.exceptions.NotPrimaryError`
+  while applying shipped records, and whose :meth:`~StandbyManager.promote`
+  flips it into a serving primary at the last applied LSN.
+
+Clients pair this with :mod:`repro.client.failover` (backoff + primary
+re-discovery) so in-flight operations survive a primary death transparently.
+"""
+
+from repro.manager.replication.shipper import LogShipper
+from repro.manager.replication.standby import StandbyManager
+
+__all__ = ["LogShipper", "StandbyManager"]

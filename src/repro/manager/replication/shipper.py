@@ -1,0 +1,200 @@
+"""Streaming journal log shipping from a primary manager to its standbys.
+
+The shipper sits behind :meth:`MetadataManager._journal`: every logical redo
+record the primary appends (or would append — shipping also works for
+journal-less in-memory managers) is offered here under the primary's meta
+lock, so the shipped stream order always matches the application order.
+
+Per-standby state is an acknowledged LSN.  Records are buffered in a bounded
+window; a flush sends each standby the suffix it has not acknowledged yet via
+``replicate_records``.  When a standby lags beyond the retained window (or
+reports a gap), the shipper falls back to a full snapshot transfer
+(``install_snapshot``) — the same codec the on-disk snapshots use.
+
+Failure semantics are asymmetric by design:
+
+* A failure *toward a standby* (unreachable, mid-promotion, …) must not take
+  the primary down — the standby is marked unhealthy, a counter ticks, and
+  the primary keeps serving.  The standby catches up via snapshot resync when
+  it returns.
+* A failure *inside the shipper itself* (including the test-only
+  :attr:`ship_hook`) propagates to ``_journal``'s fail-stop path, exactly
+  like a journal append error.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.exceptions import StdchkError
+from repro.manager.persistence import encode_manager_state
+
+#: Records retained for catch-up shipping before a lagging standby is forced
+#: into a snapshot resync.
+DEFAULT_RETAIN_RECORDS = 1024
+
+
+class StandbyLink:
+    """Shipping state for one standby endpoint."""
+
+    __slots__ = ("address", "acked_lsn", "healthy", "resyncs", "failures")
+
+    def __init__(self, address: str, acked_lsn: int = 0) -> None:
+        self.address = address
+        self.acked_lsn = acked_lsn
+        self.healthy = True
+        self.resyncs = 0
+        self.failures = 0
+
+
+class LogShipper:
+    """Ship the primary's journal record stream to standby managers."""
+
+    def __init__(self, manager, transport=None,
+                 retain_records: int = DEFAULT_RETAIN_RECORDS) -> None:
+        self.manager = manager
+        self.transport = transport if transport is not None else manager.transport
+        self.retain_records = retain_records
+        #: ``(lsn, record)`` suffix of the stream, bounded: standbys further
+        #: behind than this window resync from a snapshot instead.
+        self._window: Deque[Tuple[int, Dict[str, object]]] = deque()
+        self._standbys: Dict[str, StandbyLink] = {}
+        #: Records buffered since the last flush (batching knob).
+        self._pending = 0
+        #: Highest LSN offered; mirrors the journal LSN when one exists, and
+        #: is self-assigned for journal-less managers.
+        self.last_lsn = 0
+        self._lock = threading.RLock()
+        #: Test/fault-injection hook called as ``hook(lsn, record)`` after
+        #: each record is shipped; exceptions propagate (fail-stop), which is
+        #: how the crash-point sweep kills the primary at record boundaries.
+        self.ship_hook = None
+
+        obs = manager.obs
+        self._lag_gauge = obs.gauge(
+            "manager_replication_lag_records",
+            "Records the primary has shipped but this standby has not acked.",
+            labelnames=("standby",),
+        )
+        self._ships = obs.counter(
+            "manager_replication_ships_total",
+            "replicate_records batches sent to standbys.",
+        )
+        self._records_shipped = obs.counter(
+            "manager_replication_records_total",
+            "Journal records acknowledged by standbys.",
+        )
+        self._resyncs = obs.counter(
+            "manager_replication_resyncs_total",
+            "Full snapshot transfers to lagging standbys.",
+        )
+        self._ship_failures = obs.counter(
+            "manager_replication_ship_failures_total",
+            "Failed ship attempts, per standby.",
+            labelnames=("standby",),
+        )
+
+    # ------------------------------------------------------------- membership
+    def standbys(self) -> List[str]:
+        with self._lock:
+            return list(self._standbys)
+
+    def acked_lsn(self, address: str) -> int:
+        with self._lock:
+            return self._standbys[address].acked_lsn
+
+    def add_standby(self, address: str) -> None:
+        """Enroll ``address`` and bootstrap it with a full snapshot.
+
+        The snapshot is encoded under the primary's meta lock so it is a
+        consistent cut at :attr:`last_lsn`; the standby starts exactly there
+        and streams forward.
+        """
+        with self.manager._meta_lock, self._lock:
+            if address in self._standbys:
+                return
+            link = StandbyLink(address)
+            self._install_snapshot(link)
+            self._standbys[address] = link
+
+    def remove_standby(self, address: str) -> None:
+        with self._lock:
+            self._standbys.pop(address, None)
+
+    # --------------------------------------------------------------- shipping
+    def offer(self, record: Dict[str, object], lsn: Optional[int] = None,
+              durable: bool = False) -> int:
+        """Buffer one redo record; flush on durability points or a full batch.
+
+        Called by ``MetadataManager._journal`` under the meta lock.  Returns
+        the record's LSN.
+        """
+        with self._lock:
+            if lsn is None:
+                lsn = self.last_lsn + 1
+            self.last_lsn = max(self.last_lsn, lsn)
+            self._window.append((lsn, record))
+            while len(self._window) > self.retain_records:
+                self._window.popleft()
+            self._pending += 1
+            batch = getattr(self.manager.config, "ship_batch_records", 1)
+            if durable or self._pending >= batch:
+                self.flush()
+            if self.ship_hook is not None:
+                # Deliberately outside the per-standby error swallowing:
+                # hook errors are fail-stop, like journal append errors.
+                self.ship_hook(lsn, record)
+            return lsn
+
+    def flush(self) -> None:
+        """Ship every standby the stream suffix it has not acknowledged."""
+        with self._lock:
+            self._pending = 0
+            for link in self._standbys.values():
+                try:
+                    self._ship_to(link)
+                    link.healthy = True
+                except StdchkError:
+                    # Standby-side trouble (unreachable, promoted, …) must
+                    # not take the primary down; it will resync on return.
+                    link.healthy = False
+                    link.failures += 1
+                    self._ship_failures.labels(standby=link.address).inc()
+                self._lag_gauge.labels(standby=link.address).set(
+                    max(0, self.last_lsn - link.acked_lsn)
+                )
+
+    def _ship_to(self, link: StandbyLink) -> None:
+        if link.acked_lsn >= self.last_lsn:
+            return
+        suffix = [(lsn, rec) for lsn, rec in self._window if lsn > link.acked_lsn]
+        if not suffix or suffix[0][0] != link.acked_lsn + 1:
+            # The standby is behind the retained window (or the window has a
+            # gap from a restart): stream catch-up is impossible, resync.
+            self._install_snapshot(link)
+            return
+        answer = self.transport.call(
+            link.address, "replicate_records",
+            records=[rec for _lsn, rec in suffix],
+            from_lsn=suffix[0][0],
+        )
+        self._ships.inc()
+        if answer.get("resync"):
+            self._install_snapshot(link)
+            return
+        applied = int(answer.get("applied_lsn", link.acked_lsn))
+        self._records_shipped.inc(max(0, applied - link.acked_lsn))
+        link.acked_lsn = max(link.acked_lsn, applied)
+
+    def _install_snapshot(self, link: StandbyLink) -> None:
+        """Full-state transfer: the snapshot codec over the wire."""
+        state = encode_manager_state(self.manager)
+        self.transport.call(
+            link.address, "install_snapshot",
+            state=state, lsn=self.last_lsn,
+        )
+        link.acked_lsn = self.last_lsn
+        link.resyncs += 1
+        self._resyncs.inc()

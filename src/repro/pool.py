@@ -9,6 +9,7 @@ place.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -23,6 +24,7 @@ from repro.manager.garbage_collector import GarbageCollector
 from repro.manager.manager import MetadataManager
 from repro.manager.persistence import RecoveryReport
 from repro.manager.pruner import RetentionPruner
+from repro.manager.replication import LogShipper, StandbyManager
 from repro.manager.replication_service import ReplicationService
 from repro.obs import merge_snapshots
 from repro.transport.base import Transport
@@ -87,6 +89,9 @@ class StdchkPool:
         )
         self.pruner = RetentionPruner(manager=self.manager)
         self._clients: List[ClientProxy] = []
+        #: Hot standby managers receiving the primary's journal stream,
+        #: keyed by manager id (see :meth:`add_standby`).
+        self.standbys: Dict[str, StandbyManager] = {}
 
     # -- membership ------------------------------------------------------------
     def add_benefactor(self, benefactor_id: str,
@@ -179,6 +184,78 @@ class StdchkPool:
                 benefactor.register_with(manager.address)
         return report
 
+    # -- manager replication / failover --------------------------------------
+    def add_standby(self, standby_id: str = "standby-0") -> StandbyManager:
+        """Attach a hot standby manager fed by the primary's journal stream.
+
+        Lazily wires a :class:`LogShipper` onto the primary (works with or
+        without a journal directory), bootstraps the standby with a full
+        snapshot, and teaches every existing client the new failover
+        candidate.  Clients created afterwards learn it automatically.
+        """
+        standby = StandbyManager(
+            transport=self.transport, config=self.config, clock=self.clock,
+            manager_id=standby_id,
+        )
+        shipper = self.manager.shipper
+        if shipper is None:
+            shipper = LogShipper(self.manager, transport=self.transport)
+            self.manager.attach_shipper(shipper)
+        shipper.add_standby(standby.address)
+        self.standbys[standby_id] = standby
+        for client in self._clients:
+            client.enable_failover([standby.address])
+        return standby
+
+    def kill_primary(self) -> MetadataManager:
+        """Crash the primary abruptly (no clean handover, endpoint torn down).
+
+        Clients observe ``EndpointUnreachableError`` until a standby is
+        promoted; the standbys keep whatever the shipper delivered.
+        """
+        old = self.manager
+        old.online = False
+        old.close_persistence()
+        self.transport.unregister(old.address)
+        return old
+
+    def promote_standby(self, standby_id: Optional[str] = None,
+                        journal_dir: Optional[str] = None) -> StandbyManager:
+        """Promote a standby to primary and re-point the pool at it.
+
+        Kills the old primary first if it is still serving, flips the
+        standby's role at its last applied LSN, re-points the background
+        services and maintenance stacks, re-registers online benefactors
+        (refreshing soft-state liveness immediately instead of waiting a
+        heartbeat interval), and tells every failover-enabled client where
+        the new primary lives.  Records ``manager_failover_seconds`` on the
+        promoted manager's registry.
+        """
+        start = time.perf_counter()
+        if standby_id is None:
+            standby_id = next(iter(self.standbys))
+        standby = self.standbys.pop(standby_id)
+        if self.manager.online:
+            self.kill_primary()
+        standby.promote(journal_dir=journal_dir)
+        self.manager = standby
+        self.replication_service.manager = standby
+        self.garbage_collector.manager = standby
+        self.pruner.manager = standby
+        for bundle in self.maintenance.values():
+            bundle.manager_address = standby.address
+        for benefactor in self.benefactors.values():
+            if benefactor.online:
+                benefactor.register_with(standby.address)
+        for client in self._clients:
+            if client.directory is not None:
+                client.directory.note_primary(standby.address)
+        standby.obs.histogram(
+            "manager_failover_seconds",
+            "Wall-clock time of one standby promotion (pool-side view).",
+        ).observe(time.perf_counter() - start)
+        return standby
+
     def transport_disconnect(self, address: str) -> None:
         if isinstance(self.transport, InProcessTransport):
             self.transport.disconnect(address)
@@ -225,6 +302,7 @@ class StdchkPool:
             config=effective,
             clock=self.clock,
             spool_dir=spool_dir,
+            standby_addresses=[s.address for s in self.standbys.values()],
         )
         self._clients.append(proxy)
         return proxy
@@ -297,6 +375,7 @@ class StdchkPool:
         merges them by metric name and label set.
         """
         nodes = [self.manager.obs.snapshot()]
+        nodes.extend(s.obs.snapshot() for s in self.standbys.values())
         nodes.extend(b.obs.snapshot() for b in self.benefactors.values())
         nodes.extend(c.obs.snapshot() for c in self._clients)
         return {"nodes": nodes, "aggregate": merge_snapshots(nodes)}
@@ -332,6 +411,9 @@ class TcpDeployment:
         self.manager_address = self.transport.bound_address(self.manager.address)
         self.benefactors: List[Benefactor] = []
         self.maintenance: Dict[str, BenefactorMaintenance] = {}
+        #: Hot standby managers and their bound TCP addresses.
+        self.standbys: Dict[str, StandbyManager] = {}
+        self.standby_addresses: Dict[str, str] = {}
         for index in range(benefactor_count):
             store = (
                 store_factory(benefactor_capacity)
@@ -365,6 +447,68 @@ class TcpDeployment:
         self.manager.online = False
         self.manager.close_persistence()
         self.transport.unregister(self.manager.address)
+
+    # -- manager replication / failover --------------------------------------
+    def add_standby(self, standby_id: str = "tcp-standby-0") -> StandbyManager:
+        """Attach a hot standby manager on its own TCP endpoint.
+
+        The standby binds an ephemeral port; the primary's log shipper
+        (created lazily) bootstraps it with a snapshot over the wire and
+        streams every subsequent journal record.  Clients built via
+        :meth:`client` afterwards fail over to it automatically.
+        """
+        standby = StandbyManager(
+            transport=self.transport, config=self.config, manager_id=standby_id
+        )
+        bound = self.transport.bound_address(standby.address)
+        shipper = self.manager.shipper
+        if shipper is None:
+            shipper = LogShipper(self.manager, transport=self.transport)
+            self.manager.attach_shipper(shipper)
+        shipper.add_standby(bound)
+        self.standbys[standby_id] = standby
+        self.standby_addresses[standby_id] = bound
+        return standby
+
+    def kill_primary(self) -> None:
+        """Alias of :meth:`kill_manager` (failover vocabulary)."""
+        self.kill_manager()
+
+    def promote_standby(self, standby_id: Optional[str] = None,
+                        journal_dir: Optional[str] = None) -> StandbyManager:
+        """Promote a standby and re-point the deployment at its bound port.
+
+        Kills the old primary first if it still serves, flips the standby's
+        role at its last applied LSN, updates ``manager_address``, re-points
+        the maintenance stacks and re-registers online benefactors at the
+        new primary (refreshing soft-state liveness immediately).  Clients
+        built with standbys re-discover the promoted address on their own.
+        """
+        start = time.perf_counter()
+        if standby_id is None:
+            standby_id = next(iter(self.standbys))
+        standby = self.standbys.pop(standby_id)
+        bound = self.standby_addresses.pop(standby_id)
+        if self.manager.online:
+            self.kill_manager()
+        standby.promote(journal_dir=journal_dir)
+        self.manager = standby
+        self.manager_address = bound
+        for bundle in self.maintenance.values():
+            bundle.manager_address = bound
+        for benefactor in self.benefactors:
+            if benefactor.online:
+                benefactor.register_with(
+                    bound,
+                    advertised_address=self.transport.bound_address(
+                        benefactor.address
+                    ),
+                )
+        standby.obs.histogram(
+            "manager_failover_seconds",
+            "Wall-clock time of one standby promotion (deployment-side view).",
+        ).observe(time.perf_counter() - start)
+        return standby
 
     def restart_manager(self) -> "RecoveryReport":
         """Bring up a recovered manager after :meth:`kill_manager`.
@@ -458,6 +602,7 @@ class TcpDeployment:
             transport=self.transport,
             manager_address=self.manager_address,
             config=effective,
+            standby_addresses=list(self.standby_addresses.values()),
         )
 
     def scrape(self) -> Dict[str, object]:
@@ -472,6 +617,11 @@ class TcpDeployment:
             nodes.append(self.transport.call(self.manager_address, "get_metrics"))
         except StdchkError:
             pass
+        for bound in self.standby_addresses.values():
+            try:
+                nodes.append(self.transport.call(bound, "get_metrics"))
+            except StdchkError:
+                continue
         for benefactor in self.benefactors:
             if not benefactor.online:
                 continue

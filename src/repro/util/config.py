@@ -11,8 +11,8 @@ simulated deployments agree on defaults.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.util.units import MiB
@@ -151,6 +151,37 @@ class StdchkConfig:
     #: Take a snapshot (and truncate the journal) every this many records.
     snapshot_every_n_records: int = 4096
 
+    #: Standby manager endpoints clients may fail over to.  Populated by the
+    #: deployment helpers (``add_standby``); an empty tuple keeps the
+    #: historical single-manager client with no retry layer.
+    standby_endpoints: Tuple[str, ...] = field(default_factory=tuple)
+    #: Journal records buffered by the primary's log shipper before a ship
+    #: to the standbys.  1 ships synchronously (every record reaches the
+    #: standbys before the mutating RPC returns); durable records (commit,
+    #: abort, delete, …) always flush the buffer regardless.
+    ship_batch_records: int = 1
+    #: First retry delay of the client failover backoff (seconds); doubles
+    #: per attempt up to ``failover_backoff_max``.
+    failover_backoff_base: float = 0.05
+    failover_backoff_max: float = 2.0
+    #: Total budget for one manager RPC across retries and re-discovery;
+    #: when exhausted the last manager error propagates to the caller.
+    failover_deadline: float = 30.0
+    #: Jitter fraction applied to each backoff delay (0 disables; 0.5 means
+    #: delays are stretched by a uniform factor in [1.0, 1.5)).
+    failover_jitter: float = 0.5
+
+    #: Fraction of client root operations (write_file/read_file) that open a
+    #: trace; child spans always follow the parent decision, so a sampled-out
+    #: root suppresses its whole RPC tree.  1.0 traces everything.
+    trace_sample_rate: float = 1.0
+
+    #: Half-life (seconds) of the manager's read-routing load tally: the
+    #: per-benefactor placement counts behind ``get_chunk_map`` load hints
+    #: decay exponentially so hints track *current* load, not lifetime
+    #: totals.  0 keeps the historical cumulative tally.
+    read_load_halflife: float = 30.0
+
     #: Optional cap on read-ahead in the FS facade (bytes).
     read_ahead: int = 4 * MiB
     #: Metadata cache time-to-live for readdir/getattr answers (seconds).
@@ -223,6 +254,22 @@ class StdchkConfig:
             )
         if self.snapshot_every_n_records <= 0:
             raise ConfigurationError("snapshot_every_n_records must be positive")
+        if self.ship_batch_records <= 0:
+            raise ConfigurationError("ship_batch_records must be positive")
+        if self.failover_backoff_base <= 0:
+            raise ConfigurationError("failover_backoff_base must be positive")
+        if self.failover_backoff_max < self.failover_backoff_base:
+            raise ConfigurationError(
+                "failover_backoff_max must be at least failover_backoff_base"
+            )
+        if self.failover_deadline <= 0:
+            raise ConfigurationError("failover_deadline must be positive")
+        if self.failover_jitter < 0:
+            raise ConfigurationError("failover_jitter must be non-negative")
+        if not (0.0 <= self.trace_sample_rate <= 1.0):
+            raise ConfigurationError("trace_sample_rate must be in [0, 1]")
+        if self.read_load_halflife < 0:
+            raise ConfigurationError("read_load_halflife must be non-negative")
         if self.read_ahead < 0:
             raise ConfigurationError("read_ahead must be non-negative")
         if self.metadata_cache_ttl < 0:

@@ -342,3 +342,96 @@ class TestAntiEntropyService:
         # Neither side deleted anything: there is no ground truth.
         assert left.store.contains(chunk_id)
         assert right.store.contains(chunk_id)
+
+
+class TestPromotedStandbyAmnesia:
+    """Heartbeats against the replicated metadata plane (manager failover).
+
+    A promoted standby can suffer "manager amnesia" toward a node in a new
+    way: the node registered with the old primary *after* the last shipped
+    record, so the standby has never seen it at all.  The heartbeat service
+    must treat that exactly like a restarted manager — re-register with the
+    full inventory — and must tolerate beating against a not-yet-promoted
+    standby without raising.
+    """
+
+    def test_heartbeat_tolerates_unpromoted_standby(self, pool: StdchkPool):
+        standby = pool.add_standby("standby-0")
+        service = HeartbeatService(
+            pool.benefactors["benefactor-00"], standby.address
+        )
+        # NotPrimaryError is transient (promotion may be seconds away):
+        # the beat is skipped, not raised, and nothing is re-registered.
+        assert service.run_once() is None
+        assert service.beats == 0
+        assert service.reregistrations == 0
+
+    def test_node_unknown_to_promoted_standby_reregisters_with_inventory(
+        self, pool: StdchkPool
+    ):
+        standby = pool.add_standby("standby-0")
+        client = pool.client("writer")
+        client.write_file("/ha/ckpt.N0.T1", make_bytes(200 * 1024, seed=51))
+
+        # The standby goes dark; a node joins and acquires a replica while
+        # only the doomed primary is watching.  Neither the registration nor
+        # the (soft-state) replica placement ever reaches the standby.
+        pool.transport.disconnect(standby.address)
+        late = Benefactor(
+            benefactor_id="late-joiner",
+            transport=pool.transport,
+            store=MemoryChunkStore(64 * MiB),
+            clock=pool.clock,
+        )
+        late.register_with(pool.manager.address)
+        dataset = pool.manager.dataset_by_path("/ha/ckpt.N0.T1")
+        placement = dataset.latest.chunk_map.placements[0]
+        donor = pool.benefactors[placement.benefactors[0]]
+        late.store.put(donor.store.get(placement.chunk_id))
+        pool.manager.record_replicas(
+            benefactor_id="late-joiner", chunk_ids=[placement.chunk_id]
+        )
+
+        pool.kill_primary()
+        pool.transport.reconnect(standby.address)
+        standby.promote()
+        assert "late-joiner" not in standby.registry
+
+        # The extended amnesia path: the promoted standby answers but has
+        # never seen this node -> full re-registration + inventory
+        # re-advertisement, which re-attaches the replica placement.
+        service = HeartbeatService(late, standby.address)
+        answer = service.run_once()
+        assert answer == {"acknowledged": True, "inventory_requested": False}
+        assert service.reregistrations == 1
+        assert standby.registry.is_online("late-joiner")
+        standby_placement = next(
+            p for p in standby.dataset_by_path("/ha/ckpt.N0.T1").latest.chunk_map
+            if p.chunk_id == placement.chunk_id
+        )
+        assert "late-joiner" in standby_placement.benefactors
+
+    def test_known_node_readvertises_on_first_beat_after_promotion(
+        self, pool: StdchkPool
+    ):
+        # The other half of promotion amnesia: the standby knows the node
+        # (its registration shipped), but replicated state never carries
+        # reconciliation progress -- the first digest-bearing beat against
+        # the promoted standby must trigger one full re-advertisement.
+        standby = pool.add_standby("standby-0")
+        client = pool.client("writer")
+        client.write_file("/ha/ckpt.N0.T1", make_bytes(200 * 1024, seed=52))
+        pool.kill_primary()
+        standby.promote()
+
+        for bundle in pool.maintenance.values():
+            bundle.manager_address = standby.address
+        reconciles = 0
+        for bundle in pool.maintenance.values():
+            answer = bundle.heartbeat.run_once()
+            assert answer is not None and answer["acknowledged"]
+            reconciles += bundle.heartbeat.reconciles
+        assert reconciles == len(pool.benefactors)
+        # A second round finds every digest reconciled again.
+        for bundle in pool.maintenance.values():
+            assert bundle.heartbeat.run_once()["inventory_requested"] is False

@@ -1,0 +1,355 @@
+"""Client-side manager failover: directory, retry transport, commit replay.
+
+Unit-level coverage of :mod:`repro.client.failover` (re-discovery choosing
+the freshest serving primary, retry loop pacing, deadline budget, hint
+absorption) plus pool-level coverage of the idempotence-aware write replay:
+a commit whose first attempt landed but whose answer was lost is absorbed,
+and a session the promoted standby never saw is replayed wholesale.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import StdchkConfig, StdchkPool
+from repro.client.failover import FailoverTransport, ManagerDirectory
+from repro.exceptions import (
+    EndpointUnreachableError,
+    ManagerUnavailableError,
+    NotPrimaryError,
+    UnknownDatasetError,
+)
+from repro.obs import MetricsRegistry
+from tests.conftest import make_bytes
+
+SMALL = dict(
+    chunk_size=64 * 1024,
+    stripe_width=3,
+    replication_level=2,
+    window_buffer_size=256 * 1024,
+    incremental_file_size=128 * 1024,
+    failover_backoff_base=0.001,
+    failover_backoff_max=0.01,
+    failover_deadline=10.0,
+)
+
+
+def make_pool(**overrides) -> StdchkPool:
+    return StdchkPool(benefactor_count=4, config=StdchkConfig(**{**SMALL, **overrides}))
+
+
+class ScriptedTransport:
+    """Fake transport: scripted per-address answers or exceptions."""
+
+    def __init__(self, answers):
+        #: address -> list of answers; an Exception instance is raised,
+        #: anything else returned.  The last entry repeats forever.
+        self.answers = {addr: list(seq) for addr, seq in answers.items()}
+        self.calls = []
+
+    def call(self, address, method, /, **payload):
+        self.calls.append((address, method))
+        seq = self.answers.get(address)
+        if not seq:
+            raise EndpointUnreachableError(f"no script for {address}")
+        answer = seq.pop(0) if len(seq) > 1 else seq[0]
+        if isinstance(answer, Exception):
+            raise answer
+        return answer
+
+    def register(self, address, endpoint):  # pragma: no cover - unused
+        pass
+
+    def unregister(self, address):  # pragma: no cover - unused
+        pass
+
+
+def primary_status(lsn=0, role="primary", online=True, recovering=False):
+    return {"role": role, "online": online, "recovering": recovering,
+            "last_lsn": lsn}
+
+
+# ---------------------------------------------------------------- directory
+class TestManagerDirectory:
+    def test_needs_at_least_one_candidate(self):
+        with pytest.raises(ValueError):
+            ManagerDirectory([])
+
+    def test_first_candidate_is_the_initial_active(self):
+        directory = ManagerDirectory(["m0", "m1"])
+        assert directory.current() == "m0"
+        assert directory.covers("m1")
+        assert not directory.covers("m2")
+
+    def test_note_candidates_merges_without_duplicates(self):
+        directory = ManagerDirectory(["m0"])
+        directory.note_candidates(["m1", "m0", "m1", ""])
+        assert directory.candidates() == ["m0", "m1"]
+
+    def test_note_primary_adds_and_activates(self):
+        directory = ManagerDirectory(["m0"])
+        directory.note_primary("m9")
+        assert directory.current() == "m9"
+        assert directory.covers("m9")
+
+    def test_rediscover_picks_highest_lsn_primary(self):
+        transport = ScriptedTransport({
+            "m0": [EndpointUnreachableError("dead")],
+            "m1": [primary_status(lsn=5)],
+            "m2": [primary_status(lsn=9)],
+        })
+        directory = ManagerDirectory(["m0", "m1", "m2"])
+        assert directory.rediscover(transport) is True
+        assert directory.current() == "m2"
+
+    def test_rediscover_skips_standbys_and_recovering_managers(self):
+        transport = ScriptedTransport({
+            "m0": [primary_status(role="standby")],
+            "m1": [primary_status(recovering=True)],
+            "m2": [primary_status(online=False)],
+        })
+        directory = ManagerDirectory(["m0", "m1", "m2"])
+        assert directory.rediscover(transport) is False
+        assert directory.current() == "m0"  # unchanged
+
+
+# ---------------------------------------------------------------- transport
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestFailoverTransport:
+    def make(self, answers, candidates=("m0", "m1"), **config_overrides):
+        inner = ScriptedTransport(answers)
+        directory = ManagerDirectory(list(candidates))
+        clock = FakeClock()
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock.t += seconds
+
+        transport = FailoverTransport(
+            inner, directory,
+            config=StdchkConfig(**{**SMALL, **config_overrides}),
+            clock=clock, sleep=sleep,
+        )
+        return transport, inner, directory, clock, sleeps
+
+    def test_non_candidate_addresses_pass_through(self):
+        transport, inner, _, _, _ = self.make({"b0": ["chunk"]})
+        assert transport.call("b0", "get_chunk") == "chunk"
+        assert inner.calls == [("b0", "get_chunk")]
+
+    def test_retries_until_rediscovery_finds_new_primary(self):
+        # m0 dies; the probe finds m1 serving; the retried call succeeds.
+        transport, inner, directory, _, _ = self.make({
+            "m0": [EndpointUnreachableError("dead")],
+            "m1": [primary_status(lsn=3), primary_status(lsn=3), "ok"],
+        })
+        # Scripted: m1 answers status twice (probe) then the real call.
+        inner.answers["m1"] = [primary_status(lsn=3), "ok"]
+        assert transport.call("m0", "get_chunk_map") == "ok"
+        assert directory.current() == "m1"
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        transport, inner, _, _, sleeps = self.make({
+            "m0": [UnknownDatasetError("no such file")],
+        })
+        with pytest.raises(UnknownDatasetError):
+            transport.call("m0", "get_chunk_map")
+        assert not sleeps
+
+    def test_deadline_exhaustion_reraises_the_manager_error(self):
+        transport, _, _, _, sleeps = self.make(
+            {"m0": [ManagerUnavailableError("down")],
+             "m1": [ManagerUnavailableError("down")]},
+            failover_deadline=0.05,
+        )
+        with pytest.raises(ManagerUnavailableError):
+            transport.call("m0", "create_session")
+        assert sleeps  # it backed off while probing, then gave up
+
+    def test_backoff_doubles_and_is_capped(self):
+        transport, _, _, _, sleeps = self.make(
+            {"m0": [ManagerUnavailableError("down")],
+             "m1": [ManagerUnavailableError("down")]},
+            failover_backoff_base=0.01, failover_backoff_max=0.04,
+            failover_jitter=0.0, failover_deadline=0.2,
+        )
+        with pytest.raises(ManagerUnavailableError):
+            transport.call("m0", "create_session")
+        # 0.01, 0.02, 0.04, 0.04, ... doubling then flat at the cap.
+        assert sleeps[:3] == [0.01, 0.02, 0.04]
+        assert all(delay == 0.04 for delay in sleeps[2:-1])
+
+    def test_jitter_stretches_delays_within_the_configured_fraction(self):
+        transport, _, _, _, sleeps = self.make(
+            {"m0": [ManagerUnavailableError("down")],
+             "m1": [ManagerUnavailableError("down")]},
+            failover_backoff_base=0.01, failover_backoff_max=0.01,
+            failover_jitter=0.5, failover_deadline=0.1,
+        )
+        with pytest.raises(ManagerUnavailableError):
+            transport.call("m0", "create_session")
+        assert all(0.01 <= delay < 0.015 for delay in sleeps[:-1])
+
+    def test_not_primary_hint_is_absorbed_into_the_directory(self):
+        hint = NotPrimaryError("standby here", primary_address="m7")
+        transport, inner, directory, _, _ = self.make({
+            "m0": [hint],
+            "m7": [primary_status(lsn=1), "ok"],
+        }, candidates=("m0",))
+        assert transport.call("m0", "get_chunk_map") == "ok"
+        assert directory.covers("m7")
+        assert directory.current() == "m7"
+
+    def test_retry_metrics_are_recorded(self):
+        registry = MetricsRegistry(component="client", node_id="c0")
+        inner = ScriptedTransport({
+            "m0": [ManagerUnavailableError("down")],
+            "m1": [primary_status(lsn=1), "ok"],
+        })
+        transport = FailoverTransport(
+            inner, ManagerDirectory(["m0", "m1"]),
+            config=StdchkConfig(**SMALL), obs=registry,
+            clock=FakeClock(), sleep=lambda _s: None,
+        )
+        assert transport.call("m0", "get_chunk_map") == "ok"
+        retries = registry.counter(
+            "client_failover_retries_total", "", labelnames=("method",)
+        )
+        assert retries.labels(method="get_chunk_map").value == 1
+        stall = registry.histogram("client_failover_stall_seconds", "")
+        assert stall.count == 1
+
+
+# ------------------------------------------------------------------- wiring
+class TestClientWiring:
+    def test_client_without_standbys_keeps_the_bare_transport(self):
+        pool = make_pool()
+        client = pool.client("c0")
+        assert client.directory is None
+        assert client.transport is pool.transport
+
+    def test_client_with_standby_gets_the_failover_layer(self):
+        pool = make_pool()
+        standby = pool.add_standby("standby-0")
+        client = pool.client("c0")
+        assert isinstance(client.transport, FailoverTransport)
+        assert client.directory.covers(standby.address)
+        assert client.directory.current() == pool.manager.address
+
+    def test_existing_clients_learn_late_standbys(self):
+        pool = make_pool()
+        client = pool.client("c0")
+        standby = pool.add_standby("standby-0")
+        assert client.directory is not None
+        assert client.directory.covers(standby.address)
+
+    def test_enable_failover_is_idempotent(self):
+        pool = make_pool()
+        pool.add_standby("standby-0")
+        client = pool.client("c0")
+        transport = client.transport
+        client.enable_failover(["extra-standby"])
+        assert client.transport is transport  # no double wrap
+        assert client.directory.covers("extra-standby")
+
+    def test_config_standby_endpoints_enable_failover(self):
+        from repro.client.proxy import ClientProxy
+
+        pool = make_pool()
+        standby = pool.add_standby("standby-0")
+        client = ClientProxy(
+            client_id="cfg-client",
+            transport=pool.transport,
+            manager_address=pool.manager.address,
+            config=pool.config.with_overrides(
+                standby_endpoints=(standby.address,)
+            ),
+        )
+        assert isinstance(client.transport, FailoverTransport)
+        assert client.directory.covers(standby.address)
+
+    def test_client_rides_out_a_slow_promotion(self):
+        # The primary dies; a background thread promotes the standby only
+        # after a few failed probes — the client's read blocks inside the
+        # retry loop and completes against the promoted standby.
+        pool = make_pool()
+        pool.add_standby("standby-0")
+        client = pool.client("c0")
+        data = make_bytes(200 * 1024, seed=21)
+        client.write_file("/app/ckpt.N0.T1", data)
+
+        pool.kill_primary()
+        promoted = threading.Timer(0.05, pool.promote_standby)
+        promoted.start()
+        try:
+            assert client.read_file("/app/ckpt.N0.T1") == data
+        finally:
+            promoted.join()
+        retries = client.obs.counter(
+            "client_failover_retries_total", "", labelnames=("method",)
+        )
+        assert retries.labels(method="get_chunk_map").value >= 1
+
+
+# ------------------------------------------------------------- commit replay
+class TestCommitReplay:
+    def test_lost_commit_answer_is_absorbed_as_success(self):
+        # The commit *lands* on the primary (and ships to the standby), but
+        # the answer is lost because the primary dies on the way back.  The
+        # retried commit against the promoted standby answers "already
+        # committed" — absorbed and reported as success.
+        pool = make_pool()
+        pool.add_standby("standby-0")
+        client = pool.client("c0")
+        data = make_bytes(150 * 1024, seed=22)
+        state = {"fired": False}
+
+        def hook(address, method, payload):
+            if method == "commit_session" and not state["fired"]:
+                state["fired"] = True
+                pool.manager.dispatch(method, dict(payload))  # commit lands
+                pool.promote_standby()
+                raise EndpointUnreachableError("primary died answering")
+
+        pool.transport.set_fault_hook(hook)
+        try:
+            client.write_file("/app/ckpt.N0.T1", data)
+        finally:
+            pool.transport.set_fault_hook(None)
+        assert state["fired"]
+        assert client.read_file("/app/ckpt.N0.T1") == data
+        assert len(pool.manager.dataset_by_path("/app/ckpt.N0.T1").versions) == 1
+
+    def test_unshipped_session_is_replayed_on_the_standby(self):
+        # With a large ship batch the session's records are still buffered
+        # when the primary dies: the promoted standby has never seen the
+        # session, so the client re-opens and re-commits it wholesale.
+        pool = make_pool(ship_batch_records=256)
+        pool.add_standby("standby-0")
+        client = pool.client("c0")
+        data = make_bytes(200 * 1024, seed=23)
+        state = {"fired": False}
+
+        def hook(address, method, payload):
+            if method == "commit_session" and not state["fired"]:
+                state["fired"] = True
+                pool.promote_standby()
+                raise EndpointUnreachableError("primary died mid-commit")
+
+        pool.transport.set_fault_hook(hook)
+        try:
+            client.write_file("/app/ckpt.N0.T1", data)
+        finally:
+            pool.transport.set_fault_hook(None)
+        assert state["fired"]
+        assert client.read_file("/app/ckpt.N0.T1") == data

@@ -1,0 +1,278 @@
+"""Tests for manager replication: log shipping, standbys, promotion.
+
+The shipper streams the primary's logical redo records to standbys over the
+ordinary transport; these tests verify the streaming contract (order, acked
+LSNs, batching, snapshot resync for laggards), the standby's refusal of
+normal RPCs, and that a promoted standby serves exactly the state the
+shipped prefix describes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import StdchkConfig, StdchkPool
+from repro.exceptions import (
+    EndpointUnreachableError,
+    NotPrimaryError,
+)
+from repro.manager.manager import MetadataManager
+from repro.manager.replication import LogShipper, StandbyManager
+from repro.transport.inprocess import InProcessTransport
+from repro.util.clock import VirtualClock
+from tests.conftest import make_bytes
+
+SMALL = dict(
+    chunk_size=64 * 1024,
+    stripe_width=3,
+    replication_level=2,
+    window_buffer_size=256 * 1024,
+    incremental_file_size=128 * 1024,
+)
+
+
+def make_pool(**overrides) -> StdchkPool:
+    config = StdchkConfig(**{**SMALL, **overrides})
+    return StdchkPool(benefactor_count=4, config=config)
+
+
+# ---------------------------------------------------------------- streaming
+class TestLogShipping:
+    def test_standby_mirrors_primary_state(self):
+        pool = make_pool()
+        standby = pool.add_standby("standby-0")
+        client = pool.client("c0")
+        data = make_bytes(200 * 1024, seed=1)
+        client.write_file("/app/ckpt.N0.T1", data)
+        client.mkdir("/app/other")
+
+        assert standby.applied_lsn == pool.manager.shipper.last_lsn
+        assert standby.namespace.file_exists("/app/ckpt.N0.T1")
+        assert standby.namespace.folder_exists("/app/other")
+        # The standby's dataset carries the identical committed chunk map.
+        primary_ds = pool.manager.dataset_by_path("/app/ckpt.N0.T1")
+        standby_ds = standby.dataset_by_path("/app/ckpt.N0.T1")
+        assert (standby_ds.latest.chunk_map.to_dict()
+                == primary_ds.latest.chunk_map.to_dict())
+
+    def test_acked_lsn_tracks_stream(self):
+        pool = make_pool()
+        standby = pool.add_standby("standby-0")
+        shipper = pool.manager.shipper
+        client = pool.client("c0")
+        client.write_file("/app/a.N0.T1", make_bytes(70 * 1024, seed=2))
+        assert shipper.acked_lsn(standby.address) == shipper.last_lsn
+        assert shipper.last_lsn > 0
+
+    def test_batched_shipping_flushes_on_durable_records(self):
+        # With a large batch the stream still flushes at the commit (a
+        # durable record), so committed versions always reach the standby.
+        pool = make_pool(ship_batch_records=64)
+        standby = pool.add_standby("standby-0")
+        client = pool.client("c0")
+        client.write_file("/app/a.N0.T1", make_bytes(70 * 1024, seed=3))
+        assert standby.dataset_by_path("/app/a.N0.T1").latest is not None
+
+    def test_shipping_works_without_journal_dir(self):
+        # In-memory managers (no journal_dir) still replicate: the shipper
+        # self-assigns LSNs.
+        pool = make_pool()
+        assert pool.config.journal_dir is None
+        standby = pool.add_standby("standby-0")
+        client = pool.client("c0")
+        client.write_file("/app/a.N0.T1", make_bytes(70 * 1024, seed=4))
+        assert standby.applied_lsn > 0
+
+    def test_journal_lsns_drive_stream_when_journaled(self, tmp_path):
+        pool = make_pool(journal_dir=str(tmp_path / "wal"))
+        pool.add_standby("standby-0")
+        client = pool.client("c0")
+        client.write_file("/app/a.N0.T1", make_bytes(70 * 1024, seed=5))
+        assert pool.manager.shipper.last_lsn == pool.manager.persistence.last_lsn
+
+    def test_lagging_standby_resyncs_via_snapshot(self):
+        # A standby enrolled with a tiny retention window that misses a burst
+        # of records (unreachable) catches up through install_snapshot.
+        pool = make_pool()
+        shipper = LogShipper(pool.manager, transport=pool.transport,
+                             retain_records=2)
+        pool.manager.attach_shipper(shipper)
+        standby = StandbyManager(transport=pool.transport, config=pool.config,
+                                 clock=pool.clock, manager_id="standby-0")
+        shipper.add_standby(standby.address)
+        pool.standbys["standby-0"] = standby
+
+        pool.transport.disconnect(standby.address)
+        client = pool.client("c0")
+        client.write_file("/app/a.N0.T1", make_bytes(200 * 1024, seed=6))
+        assert standby.applied_lsn < shipper.last_lsn
+
+        pool.transport.reconnect(standby.address)
+        client.mkdir("/warmup")  # next shipped record triggers the resync
+        assert standby.applied_lsn == shipper.last_lsn
+        assert standby.namespace.file_exists("/app/a.N0.T1")
+        assert standby.obs.counter(
+            "standby_snapshots_installed_total", ""
+        ).value >= 1
+
+    def test_unreachable_standby_does_not_fail_primary(self):
+        pool = make_pool()
+        standby = pool.add_standby("standby-0")
+        pool.transport.disconnect(standby.address)
+        client = pool.client("c0")
+        # The write must succeed even though every ship attempt fails.
+        client.write_file("/app/a.N0.T1", make_bytes(70 * 1024, seed=7))
+        assert pool.manager.online
+        lag = pool.manager.obs.gauge(
+            "manager_replication_lag_records", "", labelnames=("standby",)
+        ).labels(standby=standby.address).value
+        assert lag > 0
+
+    def test_ship_hook_errors_are_fail_stop(self):
+        pool = make_pool()
+        pool.add_standby("standby-0")
+
+        def hook(lsn, record):
+            raise EndpointUnreachableError("injected at record boundary")
+
+        pool.manager.shipper.ship_hook = hook
+        # Straight at the manager (a failover client would retry through the
+        # standby; fail-stop semantics are a *manager-side* contract).
+        with pytest.raises(EndpointUnreachableError):
+            pool.manager.make_folder("/app")
+        assert not pool.manager.online
+
+
+# ------------------------------------------------------------------ standby
+class TestStandbyManager:
+    def make_standby(self):
+        transport = InProcessTransport()
+        clock = VirtualClock()
+        primary = MetadataManager(transport=transport, clock=clock,
+                                  manager_id="primary")
+        shipper = LogShipper(primary, transport=transport)
+        primary.attach_shipper(shipper)
+        standby = StandbyManager(transport=transport, clock=clock,
+                                 manager_id="standby")
+        shipper.add_standby(standby.address)
+        return transport, primary, standby
+
+    def test_refuses_normal_rpcs_until_promoted(self):
+        _transport, _primary, standby = self.make_standby()
+        with pytest.raises(NotPrimaryError):
+            standby.make_folder("/app")
+        with pytest.raises(NotPrimaryError):
+            standby.heartbeat(benefactor_id="b0", free_space=1)
+        standby.promote()
+        standby.make_folder("/app")  # now served
+
+    def test_manager_status_is_served_while_standby(self):
+        transport, _primary, standby = self.make_standby()
+        status = transport.call(standby.address, "manager_status")
+        assert status["role"] == "standby"
+        assert status["applied_lsn"] == 0
+
+    def test_duplicate_records_are_skipped(self):
+        transport, _primary, standby = self.make_standby()
+        record = {"op": "make_folder", "data": {
+            "path": "/app", "retention_kind": None,
+            "purge_after": 3600.0, "keep_last": 1, "t": 0.0,
+        }}
+        answer = transport.call(standby.address, "replicate_records",
+                                records=[record], from_lsn=1)
+        assert answer == {"applied_lsn": 1, "resync": False}
+        # Overlapping re-send: already-applied LSN 1 is skipped, no error.
+        answer = transport.call(standby.address, "replicate_records",
+                                records=[record], from_lsn=1)
+        assert answer["applied_lsn"] == 1
+
+    def test_gap_requests_resync(self):
+        transport, _primary, standby = self.make_standby()
+        record = {"op": "make_folder", "data": {
+            "path": "/app", "retention_kind": None,
+            "purge_after": 3600.0, "keep_last": 1, "t": 0.0,
+        }}
+        answer = transport.call(standby.address, "replicate_records",
+                                records=[record], from_lsn=5)
+        assert answer["resync"] is True
+        assert not standby.namespace.folder_exists("/app")
+
+    def test_standby_never_journals_the_primary_dir(self, tmp_path):
+        wal = tmp_path / "wal"
+        transport = InProcessTransport()
+        config = StdchkConfig(**SMALL, journal_dir=str(wal))
+        primary = MetadataManager(transport=transport, config=config,
+                                  manager_id="primary")
+        standby = StandbyManager(transport=transport, config=config,
+                                 manager_id="standby")
+        assert primary.persistence is not None
+        assert standby.persistence is None
+
+    def test_promote_attaches_fresh_journal(self, tmp_path):
+        pool = make_pool()
+        standby = pool.add_standby("standby-0")
+        client = pool.client("c0")
+        data = make_bytes(70 * 1024, seed=8)
+        client.write_file("/app/a.N0.T1", data)
+        pool.kill_primary()
+        promoted_dir = tmp_path / "promoted-wal"
+        pool.promote_standby(journal_dir=str(promoted_dir))
+        assert standby.persistence is not None
+        assert standby.persistence.snapshot_lsn >= 0
+        # The promoted manager keeps journaling new mutations.
+        client.write_file("/app/a.N0.T2", data)
+        assert standby.persistence.last_lsn > 0
+
+
+# ---------------------------------------------------------------- promotion
+class TestPromotion:
+    def test_promoted_standby_serves_reads_and_writes(self):
+        pool = make_pool()
+        pool.add_standby("standby-0")
+        client = pool.client("c0")
+        data = make_bytes(200 * 1024, seed=9)
+        client.write_file("/app/a.N0.T1", data)
+        pool.kill_primary()
+        promoted = pool.promote_standby()
+        assert promoted.role == "primary"
+        assert pool.manager is promoted
+        assert client.read_file("/app/a.N0.T1") == data
+        client.write_file("/app/a.N0.T2", data)
+        assert client.read_file("/app/a.N0.T2") == data
+
+    def test_promotion_is_idempotent(self):
+        pool = make_pool()
+        standby = pool.add_standby("standby-0")
+        pool.kill_primary()
+        pool.promote_standby()
+        assert standby.promote()["promoted"] is False
+
+    def test_failover_duration_histogram_recorded(self):
+        pool = make_pool()
+        pool.add_standby("standby-0")
+        pool.kill_primary()
+        promoted = pool.promote_standby()
+        hist = promoted.obs.histogram("manager_failover_seconds", "")
+        assert hist.count == 1
+
+    def test_services_repointed_after_promotion(self):
+        pool = make_pool()
+        pool.add_standby("standby-0")
+        client = pool.client("c0")
+        client.write_file("/app/a.N0.T1", make_bytes(70 * 1024, seed=10))
+        pool.kill_primary()
+        promoted = pool.promote_standby()
+        assert pool.replication_service.manager is promoted
+        assert pool.garbage_collector.manager is promoted
+        assert pool.pruner.manager is promoted
+        pool.run_services_once()  # must not raise
+
+    def test_benefactors_reregister_against_promoted_standby(self):
+        pool = make_pool()
+        pool.add_standby("standby-0")
+        client = pool.client("c0")
+        client.write_file("/app/a.N0.T1", make_bytes(70 * 1024, seed=11))
+        pool.kill_primary()
+        promoted = pool.promote_standby()
+        online = promoted.registry.online()
+        assert len(online) == len(pool.benefactors)

@@ -230,3 +230,114 @@ class TestLoadHints:
         assert client.read_file("/app/r.N0.T1") == data
         assert busy.stats["gets"] == busy_gets_before
         assert idle.stats["gets"] == idle_gets_before + 4
+
+
+class TestLoadDecay:
+    """The manager's read-routing tally decays with ``read_load_halflife``."""
+
+    def test_hints_halve_per_halflife(self, small_config):
+        config = small_config.with_overrides(read_load_halflife=10.0)
+        pool = StdchkPool(benefactor_count=3, config=config)
+        client = pool.client()
+        client.write_file("/app/d.N0.T1", b"d" * (2 * CHUNK))
+        warm = pool.manager.get_chunk_map(path="/app/d.N0.T1")["load_hints"]
+        busy = max(warm, key=warm.get)
+        before = warm[busy]
+        assert before > 0
+
+        pool.clock.advance(10.0)
+        after = pool.manager.get_chunk_map(path="/app/d.N0.T1")["load_hints"]
+        # One half-life elapsed: the warm tally contributes half of itself,
+        # plus the identical placements this very lookup re-tallied.  A
+        # cumulative tally would have doubled instead.
+        assert after[busy] == pytest.approx(1.5 * before)
+        assert after[busy] < 2 * before
+
+    def test_old_load_fades_to_noise(self, small_config):
+        config = small_config.with_overrides(read_load_halflife=5.0)
+        pool = StdchkPool(benefactor_count=3, config=config)
+        client = pool.client()
+        client.write_file("/app/d.N0.T1", b"d" * (2 * CHUNK))
+        for _ in range(50):
+            pool.manager.get_chunk_map(path="/app/d.N0.T1")
+        hot = pool.manager.get_chunk_map(path="/app/d.N0.T1")["load_hints"]
+        pool.clock.advance(500.0)  # 100 half-lives: history is gone
+        cold = pool.manager.get_chunk_map(path="/app/d.N0.T1")["load_hints"]
+        assert sum(cold.values()) < sum(hot.values()) / 10
+
+    def test_zero_halflife_keeps_the_cumulative_tally(self, small_config):
+        config = small_config.with_overrides(read_load_halflife=0.0)
+        pool = StdchkPool(benefactor_count=3, config=config)
+        client = pool.client()
+        client.write_file("/app/d.N0.T1", b"d" * (2 * CHUNK))
+        first = pool.manager.get_chunk_map(path="/app/d.N0.T1")["load_hints"]
+        pool.clock.advance(1000.0)
+        second = pool.manager.get_chunk_map(path="/app/d.N0.T1")["load_hints"]
+        for benefactor_id, count in second.items():
+            assert count >= first[benefactor_id]  # nothing decayed
+
+    def test_scheduler_breaks_ties_with_fractional_hints(self):
+        # Decayed hints are floats below 1.0; the scheduler must preserve
+        # their ordering instead of truncating both to zero.
+        scheduler = ReplicaScheduler()
+        scheduler.note_load_hints({"warm": 0.7, "cool": 0.2})
+        for _ in range(4):
+            assert scheduler.order(["warm", "cool"])[0] == "cool"
+
+
+class TestTraceSampling:
+    """``trace_sample_rate`` gates root spans; children follow the parent."""
+
+    def test_rate_zero_suppresses_the_whole_tree(self, small_config):
+        config = small_config.with_overrides(trace_sample_rate=0.0)
+        pool = StdchkPool(benefactor_count=3, config=config)
+        client = pool.client("quiet")
+        data = b"q" * (2 * CHUNK)
+        client.write_file("/app/q.N0.T1", data)
+        assert client.read_file("/app/q.N0.T1") == data
+        # No root span -> no context -> transports inject nothing and the
+        # server side opens nothing: the store stays empty end to end.
+        assert SPAN_STORE.spans() == []
+
+    def test_rate_one_traces_every_operation(self, small_config):
+        pool = StdchkPool(benefactor_count=3, config=small_config)
+        client = pool.client("chatty")
+        client.write_file("/app/c.N0.T1", b"c" * CHUNK)
+        roots = [s for s in SPAN_STORE.spans() if s.parent_id is None]
+        assert any(s.name == "client.write_file" for s in roots)
+
+    def test_children_follow_a_parent_that_was_sampled_in(self, small_config):
+        from repro.obs import tracing
+
+        config = small_config.with_overrides(trace_sample_rate=0.0)
+        pool = StdchkPool(benefactor_count=3, config=config)
+        client = pool.client("nested")
+        with tracing.start_span("job.checkpoint", component="test"):
+            client.write_file("/app/n.N0.T1", b"n" * CHUNK)
+        root = next(s for s in SPAN_STORE.spans() if s.name == "job.checkpoint")
+        spans = SPAN_STORE.traces()[root.trace_id]
+        # Sampling gates only roots: inside an active context the client op
+        # and the whole RPC tree below it are recorded as children.
+        assert any(s.name == "client.write_file" for s in spans)
+        assert any(s.name.startswith("rpc.server:") for s in spans)
+
+    def test_fractional_rate_samples_some_roots_deterministically(
+        self, small_config
+    ):
+        config = small_config.with_overrides(trace_sample_rate=0.5)
+
+        def sampled_roots():
+            SPAN_STORE.clear()
+            pool = StdchkPool(benefactor_count=3, config=config)
+            client = pool.client("coin-flipper")
+            for index in range(20):
+                client.write_file(f"/app/s.N0.T{index + 1}", b"s" * CHUNK)
+            return [
+                s.name for s in SPAN_STORE.spans()
+                if s.parent_id is None and s.name == "client.write_file"
+            ]
+
+        first = sampled_roots()
+        assert 0 < len(first) < 20  # a fraction, not all-or-nothing
+        # The sampler is seeded from the client id: reruns agree exactly.
+        assert sampled_roots() == first
