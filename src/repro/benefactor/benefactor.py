@@ -83,9 +83,14 @@ class Benefactor(Endpoint):
         self._gossip_rng = random.Random(benefactor_id)
         #: Per-node metrics registry; ``obs_component``/``obs_node_id`` stamp
         #: server-side RPC spans opened by ``Endpoint.dispatch``.
-        self.obs = MetricsRegistry(component="benefactor", node_id=benefactor_id)
+        self.obs = MetricsRegistry(component="benefactor",
+                                   node_id=benefactor_id, clock=self.clock)
         self.obs_component = "benefactor"
         self.obs_node_id = benefactor_id
+        #: When this node last heartbeated its manager (clock seconds), set
+        #: by the maintenance heartbeat service; ``None`` before the first
+        #: beat.  Surfaced through :meth:`health` as ``last_heartbeat_age``.
+        self.last_heartbeat_at: Optional[float] = None
         # Parallel pushers hit one benefactor from several client threads at
         # once; registry series carry their own locks, so counters stay exact
         # under concurrency.
@@ -118,6 +123,30 @@ class Benefactor(Endpoint):
     def get_metrics(self) -> Dict[str, object]:
         """Metrics-snapshot RPC; deliberately served even while offline."""
         return self.obs.snapshot()
+
+    def health(self) -> Dict[str, object]:
+        """Health document (served even while offline, like metrics).
+
+        ``ready`` tracks :attr:`online`: an owner-reclaimed desktop answers
+        503 on its telemetry port until the machine is donated back.
+        """
+        now = self.clock.now()
+        return {
+            "component": "benefactor",
+            "node_id": self.benefactor_id,
+            "status": "ok" if self.online else "offline",
+            "ready": self.online,
+            "online": self.online,
+            "free_space": self.store.free_space,
+            "used_space": self.store.used_space,
+            "chunk_count": self.store.chunk_count,
+            "pending_repairs": self.pending_repairs(),
+            "last_heartbeat_age": (
+                now - self.last_heartbeat_at
+                if self.last_heartbeat_at is not None else None
+            ),
+            "slo": self.obs.window_summary("rpc_handled_seconds_window"),
+        }
 
     # -- lifecycle -----------------------------------------------------------
     def _require_online(self) -> None:

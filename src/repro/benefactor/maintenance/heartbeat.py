@@ -100,6 +100,7 @@ class HeartbeatService:
                                      advertised_address=benefactor.advertised_address)
             self.reregistrations += 1
             self.beats += 1
+            benefactor.last_heartbeat_at = benefactor.clock.now()
             if self._beat_counter is not None:
                 self._beat_counter.inc()
             self._refresh_peers()
@@ -110,6 +111,7 @@ class HeartbeatService:
                            self.manager_address, exc)
             return None
         self.beats += 1
+        benefactor.last_heartbeat_at = benefactor.clock.now()
         if self._beat_counter is not None:
             self._beat_counter.inc()
         if answer.get("inventory_requested"):

@@ -138,6 +138,7 @@ class FailoverTransport(Transport):
         self._retry_counter = None
         self._rediscover_counter = None
         self._stall_histogram = None
+        self._stall_window = None
         if obs is not None:
             self.attach_metrics(obs)
 
@@ -155,6 +156,10 @@ class FailoverTransport(Transport):
             "client_failover_stall_seconds",
             "Client-visible stall of manager RPCs that needed retries.",
         )
+        self._stall_window = obs.windowed_histogram(
+            "client_failover_stall_seconds_window",
+            "Recent (sliding-window) failover stalls of manager RPCs.",
+        )
 
     # ----------------------------------------------------- Transport interface
     def call(self, address: str, method: str, /, **payload):
@@ -168,7 +173,9 @@ class FailoverTransport(Transport):
             try:
                 result = self._inner.call(target, method, **payload)
                 if stalled_since is not None and self._stall_histogram is not None:
-                    self._stall_histogram.observe(self._clock() - stalled_since)
+                    stall = self._clock() - stalled_since
+                    self._stall_histogram.observe(stall)
+                    self._stall_window.observe(stall)
                 return result
             except RETRYABLE_ERRORS as exc:
                 now = self._clock()
@@ -182,6 +189,7 @@ class FailoverTransport(Transport):
                 if now >= deadline:
                     if self._stall_histogram is not None:
                         self._stall_histogram.observe(now - stalled_since)
+                        self._stall_window.observe(now - stalled_since)
                     raise
                 if self._rediscover_counter is not None:
                     self._rediscover_counter.inc()

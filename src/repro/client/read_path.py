@@ -34,6 +34,7 @@ need to be buffered whole.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Set
 
@@ -238,6 +239,10 @@ class StripedReader:
                 "client_fetch_chunk_seconds",
                 "End-to-end latency of one chunk fetch (incl. fallbacks).",
             )
+            self._fetch_window = metrics.windowed_histogram(
+                "client_fetch_chunk_seconds_window",
+                "Recent (sliding-window) chunk fetch latency.",
+            )
             self._chunks_counter = metrics.counter(
                 "client_chunks_fetched_total", "Chunks fetched by readers."
             )
@@ -250,6 +255,7 @@ class StripedReader:
             )
         else:
             self._fetch_timer = None
+            self._fetch_window = None
             self._chunks_counter = None
             self._read_bytes_counter = None
             self._fallback_counter = None
@@ -278,10 +284,15 @@ class StripedReader:
         SHA-1 recomputation overlaps other chunks' network transfers.
         """
         with tracing.use_context(self._trace_ctx):
-            if self._fetch_timer is not None:
-                with self._fetch_timer.time():
-                    return self._fetch_replicas(placement)
-            return self._fetch_replicas(placement)
+            if self._fetch_timer is None:
+                return self._fetch_replicas(placement)
+            started = time.perf_counter()
+            try:
+                return self._fetch_replicas(placement)
+            finally:
+                elapsed = time.perf_counter() - started
+                self._fetch_timer.observe(elapsed)
+                self._fetch_window.observe(elapsed)
 
     def _fetch_replicas(self, placement: ChunkPlacement) -> bytes:
         last_error: Optional[Exception] = None

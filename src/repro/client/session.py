@@ -21,6 +21,7 @@ time, exactly as before.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -121,8 +122,13 @@ class ChunkPusher:
                 "client_push_chunk_seconds",
                 "Latency of one chunk push incl. replication and retries.",
             )
+            self._push_window = metrics.windowed_histogram(
+                "client_push_chunk_seconds_window",
+                "Recent (sliding-window) chunk push latency.",
+            )
         else:
             self._push_timer = None
+            self._push_window = None
 
         self.parallelism = max(1, config.push_parallelism)
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -237,11 +243,16 @@ class ChunkPusher:
     def _push_task(self, chunk: Chunk, ref: ChunkRef, index: int) -> None:
         """Push one chunk and record its placement (worker entry point)."""
         with tracing.use_context(self._trace_ctx):
-            if self._push_timer is not None:
-                with self._push_timer.time():
-                    self._run_push(chunk, ref, index)
-            else:
+            if self._push_timer is None:
                 self._run_push(chunk, ref, index)
+                return
+            started = time.perf_counter()
+            try:
+                self._run_push(chunk, ref, index)
+            finally:
+                elapsed = time.perf_counter() - started
+                self._push_timer.observe(elapsed)
+                self._push_window.observe(elapsed)
 
     def _run_push(self, chunk: Chunk, ref: ChunkRef, index: int) -> None:
         try:

@@ -108,7 +108,9 @@ class MetadataManager(Endpoint):
         #: Per-node metrics registry; ``Endpoint.dispatch`` also uses it for
         #: per-method RPC handling latency, and stamps server-side trace
         #: spans with ``obs_component``/``obs_node_id``.
-        self.obs = MetricsRegistry(component="manager", node_id=manager_id)
+        self.obs = MetricsRegistry(component="manager", node_id=manager_id,
+                                   clock=self.clock)
+        self.obs.window_seconds = self.config.metrics_window_seconds
         self.obs_component = "manager"
         self.obs_node_id = manager_id
         self._txn_counter = self.obs.counter(
@@ -220,6 +222,65 @@ class MetadataManager(Endpoint):
                 else getattr(self._shipper, "last_lsn", 0)
             ),
         }
+
+    def health(self) -> Dict[str, object]:
+        """Role-aware health document (served regardless of liveness guards).
+
+        ``ready`` means "serving clients now": a primary that is online and
+        done replaying.  A standby is alive but not ready (readiness flips at
+        promotion), a recovering manager reports ``recovering`` until replay
+        finishes.  ``heartbeat_age`` is the freshest benefactor heartbeat —
+        the manager's view of how current its soft state is.
+        """
+        ready = self.role == "primary" and self.online and not self.recovering
+        if self.role == "standby":
+            status = "standby"
+        elif self.recovering:
+            status = "recovering"
+        elif not self.online:
+            status = "offline"
+        else:
+            status = "ok"
+        now = self.clock.now()
+        known = self.registry.known()
+        heartbeat_age = min(
+            (now - record.last_heartbeat for record in known
+             if record.online and record.last_heartbeat > 0),
+            default=None,
+        )
+        under_replicated: Optional[int] = None
+        if ready:
+            under_replicated = self.under_replicated_count()
+        return {
+            "component": "manager",
+            "node_id": self.manager_id,
+            "role": self.role,
+            "status": status,
+            "ready": ready,
+            "online": self.online,
+            "recovering": self.recovering,
+            "journal_lsn": (
+                self._persistence.last_lsn if self._persistence is not None
+                else getattr(self._shipper, "last_lsn", 0)
+            ),
+            "applied_lsn": getattr(self, "applied_lsn", None),
+            "benefactors_online": sum(1 for record in known if record.online),
+            "benefactors_known": len(known),
+            "heartbeat_age": heartbeat_age,
+            "under_replicated_chunks": under_replicated,
+            "active_sessions": len(self._sessions),
+            "slo": self.obs.window_summary("rpc_handled_seconds_window"),
+        }
+
+    def under_replicated_count(self) -> int:
+        """Committed replica placements still below their target level."""
+        count = 0
+        with self._meta_lock:
+            for dataset in self._datasets.values():
+                target = self.replication_target_for(dataset.dataset_id)
+                for version in dataset.versions:
+                    count += len(version.chunk_map.under_replicated(target))
+        return count
 
     def fail(self) -> None:
         """Simulate a manager failure (every call raises until recovery)."""

@@ -25,6 +25,7 @@ Failure semantics are asymmetric by design:
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -95,6 +96,11 @@ class LogShipper:
             "Failed ship attempts, per standby.",
             labelnames=("standby",),
         )
+        self._ship_window = obs.windowed_histogram(
+            "manager_replication_ship_seconds_window",
+            "Recent (sliding-window) per-standby ship latency.",
+            labelnames=("standby",),
+        )
 
     # ------------------------------------------------------------- membership
     def standbys(self) -> List[str]:
@@ -153,9 +159,13 @@ class LogShipper:
         with self._lock:
             self._pending = 0
             for link in self._standbys.values():
+                started = time.perf_counter()
                 try:
                     self._ship_to(link)
                     link.healthy = True
+                    self._ship_window.labels(standby=link.address).observe(
+                        time.perf_counter() - started
+                    )
                 except StdchkError:
                     # Standby-side trouble (unreachable, promoted, …) must
                     # not take the primary down; it will resync on return.

@@ -35,6 +35,22 @@ from repro.obs.tracing import (
 )
 from repro.obs.export import to_json, to_prometheus
 from repro.obs.logs import component_logger, logging_setup
+from repro.obs.windows import (
+    WindowedHistogram,
+    WindowedHistogramSeries,
+)
+from repro.obs.otlp import (
+    OtlpJsonlSpanExporter,
+    RotatingJsonlWriter,
+    otlp_resource_spans,
+)
+from repro.obs.http import ObsHttpServer
+from repro.obs.health import (
+    ClusterHealthMonitor,
+    HealthTransition,
+    http_health_probe,
+    rpc_health_probe,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -56,4 +72,14 @@ __all__ = [
     "logging_setup",
     "is_enabled",
     "set_enabled",
+    "WindowedHistogram",
+    "WindowedHistogramSeries",
+    "OtlpJsonlSpanExporter",
+    "RotatingJsonlWriter",
+    "otlp_resource_spans",
+    "ObsHttpServer",
+    "ClusterHealthMonitor",
+    "HealthTransition",
+    "http_health_probe",
+    "rpc_health_probe",
 ]

@@ -13,7 +13,17 @@ from typing import Dict, Mapping
 
 
 def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format.
+
+    Order matters: the backslash must be doubled first or the escapes
+    introduced for quotes/newlines would themselves be re-escaped.
+    """
     return value.replace("\\", "\\\\").replace("\"", "\\\"").replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text (backslash and newline only, per the format)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _render_labels(labels: Mapping[str, str],
@@ -52,11 +62,34 @@ def to_prometheus(snapshot: dict) -> str:
     for name in sorted(snapshot.get("metrics", {})):
         family = snapshot["metrics"][name]
         if family.get("help"):
-            lines.append(f"# HELP {name} {family['help']}")
-        lines.append(f"# TYPE {name} {family['type']}")
+            lines.append(f"# HELP {name} {_escape_help(str(family['help']))}")
+        # Windowed families carry sliding-window quantiles — exactly the
+        # exposition semantics of a summary.
+        family_type = family["type"]
+        lines.append(
+            f"# TYPE {name} "
+            f"{'summary' if family_type == 'window' else family_type}"
+        )
         for entry in family.get("series", []):
             labels = entry.get("labels", {})
-            if family["type"] == "histogram":
+            if family_type == "window":
+                for quantile in ("0.5", "0.9", "0.99"):
+                    stat = f"p{int(float(quantile) * 100)}"
+                    quantile_labels = dict(labels)
+                    quantile_labels["quantile"] = quantile
+                    lines.append(
+                        f"{name}{_render_labels(quantile_labels, identity)} "
+                        f"{_format_value(entry.get(stat, 0.0))}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels, identity)} "
+                    f"{_format_value(entry.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels, identity)} "
+                    f"{_format_value(entry.get('count', 0.0))}"
+                )
+            elif family_type == "histogram":
                 for bound, count in entry.get("buckets", {}).items():
                     bucket_labels = dict(labels)
                     bucket_labels["le"] = bound

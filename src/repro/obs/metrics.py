@@ -24,9 +24,14 @@ import math
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs import runtime
+from repro.obs.windows import (
+    DEFAULT_WINDOW_BUCKETS,
+    DEFAULT_WINDOW_SECONDS,
+    WindowedHistogram,
+)
 
 #: Default latency buckets (seconds): micro-benchmark-friendly at the low
 #: end, wide enough for multi-second snapshot/recovery work at the top.
@@ -264,14 +269,54 @@ class Histogram(_MetricFamily):
         return self._require_default().sum
 
 
-class MetricsRegistry:
-    """A per-node family registry stamped with component/node identity."""
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports this module transitively.
+    try:
+        from repro import __version__
+    except ImportError:  # pragma: no cover - partial-init edge
+        return "unknown"
+    return __version__
 
-    def __init__(self, component: str = "", node_id: str = ""):
+
+class MetricsRegistry:
+    """A per-node family registry stamped with component/node identity.
+
+    ``clock`` (any object with a ``now() -> float`` method, e.g.
+    :class:`repro.util.clock.Clock`) drives the windowed series and the
+    ``process_uptime_seconds`` gauge; the default is the process monotonic
+    clock.  Every registry also carries a ``stdchk_build_info`` info-style
+    metric stamped with the package version, so any scrape identifies the
+    code it is looking at.
+    """
+
+    def __init__(self, component: str = "", node_id: str = "",
+                 clock=None):
         self.component = component
         self.node_id = node_id
+        self._now: Callable[[], float] = (
+            clock.now if clock is not None else time.monotonic
+        )
+        #: Default trailing window applied to windowed series; deployments
+        #: override it from ``StdchkConfig.metrics_window_seconds``.
+        self.window_seconds = DEFAULT_WINDOW_SECONDS
+        self.window_buckets = DEFAULT_WINDOW_BUCKETS
         self._lock = threading.Lock()
         self._families: Dict[str, _MetricFamily] = {}
+        self._started = self._now()
+        self._uptime = self.gauge(
+            "process_uptime_seconds",
+            "Seconds since this node's registry was created.",
+        )
+        build = self.gauge(
+            "stdchk_build_info",
+            "Constant 1; the version label identifies the running build.",
+            labelnames=("version",),
+        ).labels(version=_package_version())
+        # Identity must survive the global kill switch (a scrape of a
+        # disabled node should still say what build it is), so set the
+        # series directly instead of through the gated setter.
+        with build._lock:
+            build._value = 1.0
 
     def _get_or_create(self, cls, name: str, help: str,
                        labelnames: Sequence[str], **kwargs):
@@ -305,12 +350,48 @@ class MetricsRegistry:
         return self._get_or_create(Histogram, name, help, labelnames,
                                    buckets=buckets)
 
+    def windowed_histogram(self, name: str, help: str = "",
+                           labelnames: Sequence[str] = (),
+                           window_seconds: Optional[float] = None,
+                           bounds: Sequence[float] = ()) -> WindowedHistogram:
+        """A windowed (recent-quantile) family over this registry's clock."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = WindowedHistogram(
+                    name, help, labelnames, now=self._now,
+                    window_seconds=(window_seconds if window_seconds is not None
+                                    else self.window_seconds),
+                    window_buckets=self.window_buckets,
+                    bounds=bounds,
+                )
+                self._families[name] = family  # type: ignore[assignment]
+            elif not isinstance(family, WindowedHistogram):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            elif tuple(labelnames) != family.labelnames:
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{family.labelnames}"
+                )
+        return family
+
+    def window_summary(self, name: str) -> Optional[Dict[str, float]]:
+        """The family-wide live-window summary of one windowed metric."""
+        with self._lock:
+            family = self._families.get(name)
+        if not isinstance(family, WindowedHistogram):
+            return None
+        return family.summary()
+
     def families(self) -> List[_MetricFamily]:
         with self._lock:
             return list(self._families.values())
 
     def snapshot(self) -> dict:
         """A point-in-time JSON-friendly dump of every series."""
+        self._uptime.set(self._now() - self._started)
         metrics: Dict[str, dict] = {}
         for family in self.families():
             entries = []
@@ -320,6 +401,8 @@ class MetricsRegistry:
                     entry["count"] = series.count
                     entry["sum"] = series.sum
                     entry["buckets"] = series.bucket_counts()
+                elif family.kind == "window":
+                    entry.update(series.summary())
                 else:
                     entry["value"] = series.value
                 entries.append(entry)
@@ -359,7 +442,22 @@ def merge_snapshots(snapshots: Sequence[Optional[dict]]) -> dict:
             for entry in family.get("series", []):
                 key = tuple(sorted(entry.get("labels", {}).items()))
                 slot = target["series"].get(key)
-                if family["type"] == "histogram":
+                if family["type"] == "window":
+                    # Counts/rates sum; quantiles and maxima take the worst
+                    # node (a cluster's recent p99 is at least its slowest
+                    # member's — conservative, and honest about lossiness).
+                    if slot is None:
+                        slot = {"labels": dict(entry.get("labels", {}))}
+                        target["series"][key] = slot
+                    for stat in ("count", "sum", "rate"):
+                        slot[stat] = slot.get(stat, 0.0) + entry.get(stat, 0.0)
+                    for stat in ("p50", "p90", "p99", "max"):
+                        slot[stat] = max(slot.get(stat, 0.0),
+                                         entry.get(stat, 0.0))
+                    slot["mean"] = (slot["sum"] / slot["count"]
+                                    if slot["count"] else 0.0)
+                    slot["window_seconds"] = entry.get("window_seconds", 0.0)
+                elif family["type"] == "histogram":
                     if slot is None:
                         slot = {
                             "labels": dict(entry.get("labels", {})),

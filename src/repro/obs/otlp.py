@@ -1,0 +1,171 @@
+"""OTLP-shaped JSON-lines span export with bounded on-disk rotation.
+
+Ships :data:`~repro.obs.tracing.SPAN_STORE` contents off-node without any
+collector dependency: each exported batch is one line of OTLP/JSON
+(``resourceSpans`` → ``scopeSpans`` → ``spans``), so the files can be
+replayed into any OTLP-compatible backend with plain ``curl`` line by line,
+or read directly by humans and tests.
+
+Rotation is size-bounded: when the active file exceeds ``max_bytes`` it is
+renamed ``<path>.1`` (shifting older generations up, dropping the oldest
+beyond ``max_files``), so a long-lived node can export every span forever in
+bounded disk space.  The same rotation primitive backs the health monitor's
+event log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tracing import Span, SpanStore
+
+
+class RotatingJsonlWriter:
+    """Append JSON objects one-per-line to a size-rotated file family."""
+
+    def __init__(self, path: str, max_bytes: int = 4 * 1024 * 1024,
+                 max_files: int = 3) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if max_files < 1:
+            raise ValueError("max_files must be at least 1")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self._lock = threading.Lock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+
+    def write(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._rotate_if_needed(len(line) + 1)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+    def _rotate_if_needed(self, incoming: int) -> None:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return
+        if size == 0 or size + incoming <= self.max_bytes:
+            return
+        oldest = f"{self.path}.{self.max_files - 1}"
+        if self.max_files == 1:
+            os.replace(self.path, self.path + ".tmp")
+            os.remove(self.path + ".tmp")
+            return
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for generation in range(self.max_files - 2, 0, -1):
+            source = f"{self.path}.{generation}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{generation + 1}")
+        os.replace(self.path, f"{self.path}.1")
+
+    def files(self) -> List[str]:
+        """Every existing file of the family, newest first."""
+        out = [self.path] if os.path.exists(self.path) else []
+        for generation in range(1, self.max_files):
+            candidate = f"{self.path}.{generation}"
+            if os.path.exists(candidate):
+                out.append(candidate)
+        return out
+
+
+def _otlp_id(hex_id: Optional[str], width: int) -> str:
+    """Zero-pad our 8-byte ids to OTLP's 16-byte trace / 8-byte span hex."""
+    return (hex_id or "").rjust(width, "0")
+
+
+def _otlp_attributes(attributes: Dict[str, object]) -> List[dict]:
+    return [
+        {"key": str(key), "value": {"stringValue": str(value)}}
+        for key, value in sorted(attributes.items(), key=lambda kv: str(kv[0]))
+    ]
+
+
+def otlp_span(span: Span) -> dict:
+    """One span in OTLP/JSON shape (ids padded to OTLP widths)."""
+    start_nanos = int(span.start_time * 1e9)
+    end_nanos = start_nanos + int(span.duration * 1e9)
+    out = {
+        "traceId": _otlp_id(span.trace_id, 32),
+        "spanId": _otlp_id(span.span_id, 16),
+        "name": span.name,
+        "startTimeUnixNano": str(start_nanos),
+        "endTimeUnixNano": str(end_nanos),
+        "status": {"code": "STATUS_CODE_ERROR" if span.status == "error"
+                   else "STATUS_CODE_OK"},
+        "attributes": _otlp_attributes(dict(span.attributes)),
+    }
+    if span.parent_id:
+        out["parentSpanId"] = _otlp_id(span.parent_id, 16)
+    if span.error:
+        out["status"]["message"] = span.error
+    return out
+
+
+def otlp_resource_spans(spans: Sequence[Span]) -> dict:
+    """A batch of finished spans as one OTLP/JSON export request body.
+
+    Spans are grouped by (component, node id) into one ``resourceSpans``
+    entry each, mirroring how a per-node OTLP SDK would report them.
+    """
+    grouped: Dict[tuple, List[Span]] = {}
+    for span in spans:
+        grouped.setdefault((span.component, span.node_id), []).append(span)
+    resource_spans = []
+    for (component, node_id), members in sorted(grouped.items()):
+        attributes = []
+        if component:
+            attributes.append({"key": "service.name",
+                               "value": {"stringValue": component}})
+        if node_id:
+            attributes.append({"key": "service.instance.id",
+                               "value": {"stringValue": node_id}})
+        resource_spans.append({
+            "resource": {"attributes": attributes},
+            "scopeSpans": [{
+                "scope": {"name": "repro.obs"},
+                "spans": [otlp_span(span) for span in members],
+            }],
+        })
+    return {"resourceSpans": resource_spans}
+
+
+class OtlpJsonlSpanExporter:
+    """Drain a :class:`SpanStore` into rotated OTLP/JSON-lines files."""
+
+    def __init__(self, path: str, max_bytes: int = 4 * 1024 * 1024,
+                 max_files: int = 3) -> None:
+        self._writer = RotatingJsonlWriter(path, max_bytes=max_bytes,
+                                           max_files=max_files)
+        self._lock = threading.Lock()
+        self.spans_exported = 0
+
+    @property
+    def path(self) -> str:
+        return self._writer.path
+
+    def files(self) -> List[str]:
+        return self._writer.files()
+
+    def export(self, spans: Sequence[Span]) -> int:
+        """Write one batch (one JSON line); returns the span count."""
+        if not spans:
+            return 0
+        self._writer.write(otlp_resource_spans(spans))
+        with self._lock:
+            self.spans_exported += len(spans)
+        return len(spans)
+
+    def drain(self, store: SpanStore) -> List[Span]:
+        """Atomically take every finished span from ``store``, export and
+        return them (the caller may still want to render the batch)."""
+        spans = store.drain()
+        self.export(spans)
+        return spans

@@ -146,6 +146,13 @@ class SpanStore:
                 handle.write(text)
         return text
 
+    def drain(self) -> List[Span]:
+        """Atomically remove and return every stored span (exporter hook)."""
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        return spans
+
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()

@@ -26,7 +26,13 @@ from repro.manager.persistence import RecoveryReport
 from repro.manager.pruner import RetentionPruner
 from repro.manager.replication import LogShipper, StandbyManager
 from repro.manager.replication_service import ReplicationService
-from repro.obs import merge_snapshots
+from repro.obs import (
+    ClusterHealthMonitor,
+    ObsHttpServer,
+    http_health_probe,
+    merge_snapshots,
+    rpc_health_probe,
+)
 from repro.transport.base import Transport
 from repro.transport.inprocess import InProcessTransport
 from repro.transport.tcp import TcpTransport
@@ -78,6 +84,10 @@ class StdchkPool:
         #: model device latency on otherwise hermetic in-memory stores.
         self._store_factory = store_factory
         self._benefactor_capacity = benefactor_capacity
+        #: Per-node telemetry HTTP servers, keyed by node id; empty until
+        #: :meth:`start_obs_http` opts the pool into the live plane.
+        self._obs_servers: Dict[str, ObsHttpServer] = {}
+        self._obs_http_host: Optional[str] = None
         for index in range(benefactor_count):
             self.add_benefactor(f"benefactor-{index:02d}", capacity=benefactor_capacity)
 
@@ -124,6 +134,7 @@ class StdchkPool:
             # Deterministic per-node seed so pool tests are reproducible.
             seed=zlib.crc32(benefactor_id.encode("utf-8")),
         )
+        self._start_obs_server(benefactor_id, benefactor)
         return benefactor
 
     def heartbeat_all(self) -> None:
@@ -143,6 +154,7 @@ class StdchkPool:
         benefactor = self.benefactors[benefactor_id]
         benefactor.crash(lose_data=lose_data)
         self.transport_disconnect(benefactor.address)
+        self._stop_obs_server(benefactor_id)
         self.manager.report_benefactor_failure(benefactor_id)
 
     def recover_benefactor(self, benefactor_id: str) -> None:
@@ -152,6 +164,7 @@ class StdchkPool:
         # Re-registration re-advertises the surviving chunk inventory so the
         # manager re-attaches placements and schedules orphans for GC.
         benefactor.register_with(self.manager.address)
+        self._start_obs_server(benefactor_id, benefactor)
 
     # -- manager durability ------------------------------------------------------
     def restart_manager(self) -> "RecoveryReport":
@@ -171,11 +184,13 @@ class StdchkPool:
         old.online = False
         old.close_persistence()
         self.transport.unregister(old.address)
+        self._stop_obs_server(old.manager_id)
         manager = MetadataManager(
             transport=self.transport, config=self.config, clock=self.clock
         )
         report = manager.recover_from_journal()
         self.manager = manager
+        self._start_obs_server(manager.manager_id, manager)
         self.replication_service.manager = manager
         self.garbage_collector.manager = manager
         self.pruner.manager = manager
@@ -203,6 +218,7 @@ class StdchkPool:
             self.manager.attach_shipper(shipper)
         shipper.add_standby(standby.address)
         self.standbys[standby_id] = standby
+        self._start_obs_server(standby_id, standby)
         for client in self._clients:
             client.enable_failover([standby.address])
         return standby
@@ -217,6 +233,7 @@ class StdchkPool:
         old.online = False
         old.close_persistence()
         self.transport.unregister(old.address)
+        self._stop_obs_server(old.manager_id)
         return old
 
     def promote_standby(self, standby_id: Optional[str] = None,
@@ -380,6 +397,91 @@ class StdchkPool:
         nodes.extend(c.obs.snapshot() for c in self._clients)
         return {"nodes": nodes, "aggregate": merge_snapshots(nodes)}
 
+    # -- live observability plane -------------------------------------------
+    def start_obs_http(self, host: str = "127.0.0.1") -> Dict[str, str]:
+        """Serve every node's telemetry over HTTP (ephemeral local ports).
+
+        Idempotent; nodes added later (``add_benefactor``, ``add_standby``)
+        get their own server automatically, and the kill/recover helpers
+        tear servers down and bring them back with the node.  Returns
+        :meth:`obs_endpoints`.
+        """
+        self._obs_http_host = host
+        self._start_obs_server(self.manager.manager_id, self.manager)
+        for standby_id, standby in self.standbys.items():
+            self._start_obs_server(standby_id, standby)
+        for benefactor_id, benefactor in self.benefactors.items():
+            self._start_obs_server(benefactor_id, benefactor)
+        return self.obs_endpoints()
+
+    def _start_obs_server(self, node_id: str, node) -> None:
+        if self._obs_http_host is None or node_id in self._obs_servers:
+            return
+        server = ObsHttpServer(
+            node.obs, health_provider=node.health, host=self._obs_http_host
+        )
+        server.start()
+        self._obs_servers[node_id] = server
+
+    def _stop_obs_server(self, node_id: str) -> None:
+        server = self._obs_servers.pop(node_id, None)
+        if server is not None:
+            server.stop()
+
+    def obs_endpoints(self) -> Dict[str, str]:
+        """``node_id -> base URL`` of every live telemetry endpoint."""
+        return {node_id: server.url
+                for node_id, server in self._obs_servers.items()}
+
+    def stop_obs_http(self) -> None:
+        for node_id in list(self._obs_servers):
+            self._stop_obs_server(node_id)
+        self._obs_http_host = None
+
+    def health_monitor(self, registry=None, on_transition=None,
+                       event_log=None) -> ClusterHealthMonitor:
+        """A failure detector over every node, knobs from the pool config.
+
+        Probes ``/health`` over HTTP when :meth:`start_obs_http` ran, the
+        ``health`` RPC otherwise; either way a killed node's probe raises
+        and the suspicion machine takes over.  The caller drives it
+        (``probe_once`` or ``start``) and owns its lifecycle.
+        """
+        monitor = ClusterHealthMonitor(
+            clock=self.clock,
+            probe_interval=self.config.health_probe_interval,
+            suspect_after=self.config.health_suspect_after,
+            dead_after=self.config.health_dead_after,
+            on_transition=on_transition,
+            event_log=event_log,
+            registry=registry,
+        )
+        endpoints = self.obs_endpoints()
+
+        def enroll(node_id: str, kind: str, address: str) -> None:
+            if node_id in endpoints:
+                probe = http_health_probe(endpoints[node_id])
+            else:
+                probe = rpc_health_probe(self.transport, address)
+            monitor.add_node(node_id, probe, kind=kind)
+
+        enroll(self.manager.manager_id, "manager", self.manager.address)
+        for standby_id, standby in self.standbys.items():
+            enroll(standby_id, "manager", standby.address)
+        for benefactor_id, benefactor in self.benefactors.items():
+            enroll(benefactor_id, "benefactor", benefactor.address)
+        return monitor
+
+    def close(self) -> None:
+        """Tear down everything the pool started (currently: obs servers)."""
+        self.stop_obs_http()
+
+    def __enter__(self) -> "StdchkPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 class TcpDeployment:
     """A manager plus benefactors wired over a real localhost TCP transport.
@@ -414,6 +516,9 @@ class TcpDeployment:
         #: Hot standby managers and their bound TCP addresses.
         self.standbys: Dict[str, StandbyManager] = {}
         self.standby_addresses: Dict[str, str] = {}
+        #: Per-node telemetry HTTP servers (see :meth:`start_obs_http`).
+        self._obs_servers: Dict[str, ObsHttpServer] = {}
+        self._obs_http_host: Optional[str] = None
         for index in range(benefactor_count):
             store = (
                 store_factory(benefactor_capacity)
@@ -447,6 +552,7 @@ class TcpDeployment:
         self.manager.online = False
         self.manager.close_persistence()
         self.transport.unregister(self.manager.address)
+        self._stop_obs_server(self.manager.manager_id)
 
     # -- manager replication / failover --------------------------------------
     def add_standby(self, standby_id: str = "tcp-standby-0") -> StandbyManager:
@@ -468,6 +574,7 @@ class TcpDeployment:
         shipper.add_standby(bound)
         self.standbys[standby_id] = standby
         self.standby_addresses[standby_id] = bound
+        self._start_obs_server(standby_id, standby)
         return standby
 
     def kill_primary(self) -> None:
@@ -528,6 +635,7 @@ class TcpDeployment:
             self.kill_manager()
         self.manager = MetadataManager(transport=self.transport, config=self.config)
         self.manager_address = self.transport.bound_address(self.manager.address)
+        self._start_obs_server(self.manager.manager_id, self.manager)
         report = self.manager.recover_from_journal()
         for benefactor in self.benefactors:
             bound = self.transport.bound_address(benefactor.address)
@@ -559,6 +667,7 @@ class TcpDeployment:
             if benefactor.benefactor_id == benefactor_id:
                 benefactor.go_offline()
                 self.transport.unregister(benefactor.address)
+                self._stop_obs_server(benefactor_id)
                 return
         raise KeyError(f"unknown benefactor {benefactor_id!r}")
 
@@ -577,6 +686,7 @@ class TcpDeployment:
                 bound = self.transport.bound_address(benefactor.address)
                 benefactor.register_with(self.manager_address,
                                          advertised_address=bound)
+                self._start_obs_server(benefactor_id, benefactor)
                 return
         raise KeyError(f"unknown benefactor {benefactor_id!r}")
 
@@ -632,7 +742,83 @@ class TcpDeployment:
                 continue
         return {"nodes": nodes, "aggregate": merge_snapshots(nodes)}
 
+    # -- live observability plane -------------------------------------------
+    def start_obs_http(self, host: str = "127.0.0.1") -> Dict[str, str]:
+        """Serve every node's telemetry over HTTP (ephemeral local ports).
+
+        Idempotent; the kill/recover/promote helpers keep the server set in
+        step with the node set.  Returns :meth:`obs_endpoints`.
+        """
+        self._obs_http_host = host
+        self._start_obs_server(self.manager.manager_id, self.manager)
+        for standby_id, standby in self.standbys.items():
+            self._start_obs_server(standby_id, standby)
+        for benefactor in self.benefactors:
+            if benefactor.online:
+                self._start_obs_server(benefactor.benefactor_id, benefactor)
+        return self.obs_endpoints()
+
+    def _start_obs_server(self, node_id: str, node) -> None:
+        if self._obs_http_host is None or node_id in self._obs_servers:
+            return
+        server = ObsHttpServer(
+            node.obs, health_provider=node.health, host=self._obs_http_host
+        )
+        server.start()
+        self._obs_servers[node_id] = server
+
+    def _stop_obs_server(self, node_id: str) -> None:
+        server = self._obs_servers.pop(node_id, None)
+        if server is not None:
+            server.stop()
+
+    def obs_endpoints(self) -> Dict[str, str]:
+        """``node_id -> base URL`` of every live telemetry endpoint."""
+        return {node_id: server.url
+                for node_id, server in self._obs_servers.items()}
+
+    def stop_obs_http(self) -> None:
+        for node_id in list(self._obs_servers):
+            self._stop_obs_server(node_id)
+        self._obs_http_host = None
+
+    def health_monitor(self, registry=None, on_transition=None,
+                       event_log=None) -> ClusterHealthMonitor:
+        """A failure detector over every node, knobs from the config.
+
+        Probes ``/health`` over HTTP when :meth:`start_obs_http` ran, the
+        ``health`` RPC over TCP otherwise.  The caller drives it
+        (``probe_once`` or ``start``) and owns its lifecycle.
+        """
+        monitor = ClusterHealthMonitor(
+            probe_interval=self.config.health_probe_interval,
+            suspect_after=self.config.health_suspect_after,
+            dead_after=self.config.health_dead_after,
+            on_transition=on_transition,
+            event_log=event_log,
+            registry=registry,
+        )
+        endpoints = self.obs_endpoints()
+
+        def enroll(node_id: str, kind: str, address: str) -> None:
+            if node_id in endpoints:
+                probe = http_health_probe(endpoints[node_id])
+            else:
+                probe = rpc_health_probe(self.transport, address)
+            monitor.add_node(node_id, probe, kind=kind)
+
+        enroll(self.manager.manager_id, "manager", self.manager_address)
+        for standby_id, bound in self.standby_addresses.items():
+            enroll(standby_id, "manager", bound)
+        for benefactor in self.benefactors:
+            if not benefactor.online:
+                continue
+            enroll(benefactor.benefactor_id, "benefactor",
+                   self.transport.bound_address(benefactor.address))
+        return monitor
+
     def close(self) -> None:
+        self.stop_obs_http()
         self.transport.close()
 
     def __enter__(self) -> "TcpDeployment":

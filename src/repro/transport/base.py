@@ -8,6 +8,7 @@ in-process (tests, benchmarks) or spread over TCP sockets.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from contextlib import ExitStack
 from typing import Any, Callable, Dict
@@ -58,23 +59,33 @@ class Endpoint(ABC):
         registry = getattr(self, "obs", None)
         if ctx is None and registry is None:
             return handler(**payload)
-        with ExitStack() as stack:
+        started = time.perf_counter()
+        try:
+            with ExitStack() as stack:
+                if ctx is not None:
+                    stack.enter_context(tracing.start_span(
+                        f"rpc.server:{method}",
+                        component=getattr(self, "obs_component", ""),
+                        node_id=getattr(self, "obs_node_id", ""),
+                        parent=ctx,
+                    ))
+                return handler(**payload)
+        finally:
             if registry is not None:
-                stack.enter_context(
-                    registry.histogram(
-                        "rpc_handled_seconds",
-                        "Server-side RPC handling latency by method.",
-                        labelnames=("method",),
-                    ).labels(method=method).time()
-                )
-            if ctx is not None:
-                stack.enter_context(tracing.start_span(
-                    f"rpc.server:{method}",
-                    component=getattr(self, "obs_component", ""),
-                    node_id=getattr(self, "obs_node_id", ""),
-                    parent=ctx,
-                ))
-            return handler(**payload)
+                # One measurement feeds both views: the cumulative
+                # histogram (lifetime distribution) and the windowed
+                # summary (recent p50/p99 for live SLOs).
+                elapsed = time.perf_counter() - started
+                registry.histogram(
+                    "rpc_handled_seconds",
+                    "Server-side RPC handling latency by method.",
+                    labelnames=("method",),
+                ).labels(method=method).observe(elapsed)
+                registry.windowed_histogram(
+                    "rpc_handled_seconds_window",
+                    "Recent server-side RPC handling latency by method.",
+                    labelnames=("method",),
+                ).labels(method=method).observe(elapsed)
 
 
 class Transport(ABC):

@@ -182,6 +182,17 @@ class StdchkConfig:
     #: totals.  0 keeps the historical cumulative tally.
     read_load_halflife: float = 30.0
 
+    #: Period of the cluster health monitor's probe loop (seconds).
+    health_probe_interval: float = 1.0
+    #: Silence (no successful health probe) after which a node is suspected.
+    health_suspect_after: float = 3.0
+    #: Silence after which a node is declared dead and ``on_transition``
+    #: subscribers (the automatic-promotion groundwork) are notified.
+    health_dead_after: float = 10.0
+    #: Trailing window of the windowed SLO metric series (recent p50/p99 and
+    #: rates exported next to the cumulative histograms).
+    metrics_window_seconds: float = 60.0
+
     #: Optional cap on read-ahead in the FS facade (bytes).
     read_ahead: int = 4 * MiB
     #: Metadata cache time-to-live for readdir/getattr answers (seconds).
@@ -270,6 +281,15 @@ class StdchkConfig:
             raise ConfigurationError("trace_sample_rate must be in [0, 1]")
         if self.read_load_halflife < 0:
             raise ConfigurationError("read_load_halflife must be non-negative")
+        if self.health_probe_interval <= 0:
+            raise ConfigurationError("health_probe_interval must be positive")
+        if not (0 < self.health_suspect_after <= self.health_dead_after):
+            raise ConfigurationError(
+                "health_suspect_after must be positive and at most "
+                "health_dead_after"
+            )
+        if self.metrics_window_seconds <= 0:
+            raise ConfigurationError("metrics_window_seconds must be positive")
         if self.read_ahead < 0:
             raise ConfigurationError("read_ahead must be non-negative")
         if self.metadata_cache_ttl < 0:

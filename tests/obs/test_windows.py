@@ -1,0 +1,131 @@
+"""Windowed time-series instruments: ring recycling, quantiles, expiry."""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry, set_enabled
+from repro.obs.windows import (
+    WindowedHistogramSeries,
+    merge_window_states,
+    summarize_window,
+)
+from repro.util.clock import VirtualClock
+
+
+def make_series(clock, window=60.0, buckets=12, bounds=()):
+    return WindowedHistogramSeries(
+        {}, clock.now, window_seconds=window, window_buckets=buckets,
+        bounds=bounds,
+    )
+
+
+class TestWindowedSeries:
+    def test_summary_of_recent_observations(self):
+        clock = VirtualClock()
+        series = make_series(clock, bounds=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.05, 0.5):
+            series.observe(value)
+        summary = series.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == 0.005 + 0.005 + 0.05 + 0.5
+        assert summary["max"] == 0.5
+        assert summary["mean"] == summary["sum"] / 4
+        # 4 observations: p50 lands in the first bucket, p99 in the last
+        # occupied one (bucket-upper-bound estimates).
+        assert summary["p50"] == 0.01
+        assert summary["p99"] == 1.0
+
+    def test_observations_expire_after_the_window(self):
+        clock = VirtualClock()
+        series = make_series(clock, window=60.0, buckets=12)
+        series.observe(1.0)
+        clock.advance(30)
+        assert series.summary()["count"] == 1
+        clock.advance(31)  # past the 60s window
+        assert series.summary()["count"] == 0
+        assert series.summary()["p99"] == 0.0
+
+    def test_ring_slots_recycle_in_place(self):
+        clock = VirtualClock()
+        series = make_series(clock, window=12.0, buckets=12)
+        series.observe(1.0)
+        # One full lap of the ring later, the same slot holds the new epoch
+        # only: the stale bucket must not leak into the summary.
+        clock.advance(12.0)
+        series.observe(2.0)
+        summary = series.summary()
+        assert summary["count"] == 1
+        assert summary["max"] == 2.0
+
+    def test_rate_is_count_over_window(self):
+        clock = VirtualClock()
+        series = make_series(clock, window=10.0, buckets=10)
+        for _ in range(5):
+            series.observe(0.001)
+        assert series.summary()["rate"] == 0.5
+
+    def test_quantile_beyond_largest_bound_reports_window_max(self):
+        clock = VirtualClock()
+        series = make_series(clock, bounds=(0.1,))
+        series.observe(7.5)
+        assert series.summary()["p99"] == 7.5
+
+    def test_kill_switch_suppresses_observations(self):
+        clock = VirtualClock()
+        series = make_series(clock)
+        set_enabled(False)
+        series.observe(1.0)
+        set_enabled(True)
+        assert series.summary()["count"] == 0
+
+
+class TestMergeWindowStates:
+    def test_merge_sums_counts_and_takes_max(self):
+        bounds = (0.1, 1.0)
+        clock_a, clock_b = VirtualClock(), VirtualClock()
+        one = make_series(clock_a, bounds=bounds)
+        two = make_series(clock_b, bounds=bounds)
+        one.observe(0.05)
+        two.observe(0.5)
+        two.observe(2.0)
+        merged = merge_window_states(
+            [one.window_state(), two.window_state()], len(bounds) + 1
+        )
+        assert merged["count"] == 3
+        assert merged["max"] == 2.0
+        summary = summarize_window(merged, bounds, 60.0)
+        assert summary["count"] == 3.0
+        assert summary["p99"] == 2.0
+
+
+class TestRegistryIntegration:
+    def test_registry_windowed_family_in_snapshot_and_summary(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry(component="test", node_id="n0", clock=clock)
+        family = registry.windowed_histogram(
+            "op_seconds_window", "Recent op latency.", labelnames=("op",)
+        )
+        family.labels(op="read").observe(0.2)
+        family.labels(op="write").observe(0.4)
+        snapshot = registry.snapshot()
+        exported = snapshot["metrics"]["op_seconds_window"]
+        assert exported["type"] == "window"
+        assert {entry["labels"]["op"] for entry in exported["series"]} == \
+            {"read", "write"}
+        merged = registry.window_summary("op_seconds_window")
+        assert merged["count"] == 2.0
+        assert merged["max"] == 0.4
+
+    def test_window_summary_of_unknown_or_cumulative_metric_is_none(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total", "x").inc()
+        assert registry.window_summary("plain_total") is None
+        assert registry.window_summary("missing") is None
+
+    def test_registry_window_seconds_applies_to_new_families(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry(clock=clock)
+        registry.window_seconds = 10.0
+        family = registry.windowed_histogram("short_window", "x")
+        family.observe(1.0)
+        clock.advance(11)
+        assert family.summary()["count"] == 0
