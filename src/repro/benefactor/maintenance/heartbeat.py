@@ -58,6 +58,11 @@ class HeartbeatService:
         self.beats = 0
         self.reconciles = 0
         self.reregistrations = 0
+        #: Primary epoch carried by the last acknowledged heartbeat.  A bump
+        #: means a different manager incarnation answered (failover landed
+        #: *between* beats on the same address, or the directory re-pointed
+        #: us) — its soft state may predate this node, so re-register.
+        self.last_epoch: Optional[int] = None
         self._log = component_logger("heartbeat", benefactor.benefactor_id)
         obs = getattr(benefactor, "obs", None)
         self._beat_counter = (
@@ -100,6 +105,8 @@ class HeartbeatService:
                                      advertised_address=benefactor.advertised_address)
             self.reregistrations += 1
             self.beats += 1
+            # The next acknowledged beat re-learns the answering epoch.
+            self.last_epoch = None
             benefactor.last_heartbeat_at = benefactor.clock.now()
             if self._beat_counter is not None:
                 self._beat_counter.inc()
@@ -114,6 +121,19 @@ class HeartbeatService:
         benefactor.last_heartbeat_at = benefactor.clock.now()
         if self._beat_counter is not None:
             self._beat_counter.inc()
+        epoch = answer.get("epoch")
+        if epoch is not None:
+            if self.last_epoch is not None and int(epoch) != self.last_epoch:
+                self._log.info(
+                    "manager epoch changed %d -> %s; re-registering with "
+                    "full inventory", self.last_epoch, epoch,
+                )
+                benefactor.register_with(
+                    self.manager_address,
+                    advertised_address=benefactor.advertised_address,
+                )
+                self.reregistrations += 1
+            self.last_epoch = int(epoch)
         if answer.get("inventory_requested"):
             benefactor.reconcile_with(self.manager_address)
             self.reconciles += 1

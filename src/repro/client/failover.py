@@ -58,11 +58,27 @@ class ManagerDirectory:
             raise ValueError("ManagerDirectory needs at least one candidate")
         self._candidates: List[str] = list(dict.fromkeys(candidates))
         self._active = self._candidates[0]
+        #: Highest primary epoch observed (status probes, error hints): a
+        #: candidate still claiming primaryhood under an older epoch is a
+        #: deposed primary that has not learned it yet — never fail over
+        #: *backwards* onto it.
+        self._epoch = 0
         self._lock = threading.Lock()
 
     def current(self) -> str:
         with self._lock:
             return self._active
+
+    def known_epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    def note_epoch(self, epoch: Optional[int]) -> None:
+        """Absorb an epoch hint (from status answers or manager errors)."""
+        if not epoch:
+            return
+        with self._lock:
+            self._epoch = max(self._epoch, int(epoch))
 
     def candidates(self) -> List[str]:
         with self._lock:
@@ -85,28 +101,47 @@ class ManagerDirectory:
                 self._candidates.append(address)
             self._active = address
 
-    def rediscover(self, transport: Transport) -> bool:
+    def rediscover(self, transport: Transport,
+                   probe_timeout: Optional[float] = None) -> bool:
         """Probe every candidate and re-point at the serving primary.
 
         Returns True when the active address changed (the caller should
         retry immediately instead of backing off).  Unreachable or erroring
         candidates are skipped; among several claiming the primary role the
-        one with the highest ``last_lsn`` wins (freshest replica).
+        highest ``(epoch, last_lsn)`` wins — the epoch dominating so that a
+        deposed-but-unaware primary never steals back the active slot.
+
+        ``probe_timeout`` bounds each per-candidate probe when the transport
+        supports it: re-discovery iterates the whole candidate list, so one
+        black-holed endpoint must cost at most the timeout, not hang the
+        entire failover.
         """
+        known = self.known_epoch()
         best: Optional[str] = None
-        best_lsn = -1
+        best_key = (-1, -1)
+        best_epoch = 0
         for address in self.candidates():
             try:
-                status = transport.call(address, "manager_status")
+                if probe_timeout and hasattr(transport, "probe"):
+                    status = transport.probe(address, "manager_status",
+                                             probe_timeout)
+                else:
+                    status = transport.call(address, "manager_status")
             except StdchkError:
                 continue
             if (status.get("role") == "primary" and status.get("online")
                     and not status.get("recovering")):
+                epoch = status.get("epoch")
+                if epoch is not None and int(epoch) < known:
+                    continue  # stale primary, a successor epoch exists
                 lsn = int(status.get("last_lsn", 0))
-                if lsn > best_lsn:
-                    best, best_lsn = address, lsn
+                key = (int(epoch or 0), lsn)
+                if key > best_key:
+                    best, best_key = address, key
+                    best_epoch = int(epoch or 0)
         if best is None:
             return False
+        self.note_epoch(best_epoch)
         with self._lock:
             changed = best != self._active
             self._active = best
@@ -186,6 +221,7 @@ class FailoverTransport(Transport):
                 hint = getattr(exc, "primary_address", None)
                 if hint:
                     self.directory.note_candidates([hint])
+                self.directory.note_epoch(getattr(exc, "epoch", None))
                 if now >= deadline:
                     if self._stall_histogram is not None:
                         self._stall_histogram.observe(now - stalled_since)
@@ -193,7 +229,9 @@ class FailoverTransport(Transport):
                     raise
                 if self._rediscover_counter is not None:
                     self._rediscover_counter.inc()
-                if self.directory.rediscover(self._inner):
+                if self.directory.rediscover(
+                        self._inner,
+                        probe_timeout=self.config.failover_probe_timeout):
                     continue  # a (new) primary is serving: retry right away
                 jitter = 1.0 + self.config.failover_jitter * self._rng.random()
                 pause = min(delay * jitter, max(0.0, deadline - self._clock()))

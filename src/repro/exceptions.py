@@ -71,17 +71,59 @@ class NotPrimaryError(ManagerError):
     Standbys apply the primary's shipped journal but refuse normal client
     and benefactor RPCs until promoted; callers are expected to re-resolve
     the active primary (``primary_address`` carries the standby's best hint
-    when it has one) and retry there.
+    when it has one, ``epoch`` the highest primary epoch it has observed)
+    and retry there.
     """
 
     def __init__(self, message: str = "",
+                 primary_address: "str | None" = None,
+                 epoch: "int | None" = None) -> None:
+        super().__init__(message)
+        self.primary_address = primary_address
+        self.epoch = epoch
+
+    def __reduce__(self):
+        # Keep the hints across pickling (TCP frames carry exceptions).
+        return (type(self), (str(self), self.primary_address, self.epoch))
+
+
+class StaleEpochError(ManagerError):
+    """A replication call carried an epoch older than the receiver's.
+
+    Raised by ``replicate_records``/``install_snapshot`` (and the ``fence``
+    RPC) to a primary that was deposed: a newer primary exists under
+    ``epoch``.  The deposed primary self-demotes on receipt instead of
+    split-braining; ``primary_address`` carries the rejecting node's best
+    hint at where the newer primary serves.
+    """
+
+    def __init__(self, message: str = "", epoch: int = 0,
                  primary_address: "str | None" = None) -> None:
         super().__init__(message)
+        self.epoch = epoch
         self.primary_address = primary_address
 
     def __reduce__(self):
-        # Keep the hint across pickling (TCP frames carry exceptions).
-        return (type(self), (str(self), self.primary_address))
+        return (type(self), (str(self), self.epoch, self.primary_address))
+
+
+class QuorumNotReachedError(ManagerError):
+    """A mutating op could not collect its standby-ack quorum in time.
+
+    With ``quorum_degrade="fail"`` the op is applied and locally durable but
+    deliberately *not acknowledged*: the client sees this error and retries
+    (idempotently) once replication heals — no acknowledged write can sit
+    only on the primary.
+    """
+
+    def __init__(self, message: str = "", acked: int = 0,
+                 required: int = 0) -> None:
+        super().__init__(message)
+        self.acked = acked
+        self.required = required
+
+    def __reduce__(self):
+        return (type(self), (str(self), self.acked, self.required))
 
 
 class JournalCorruptError(ManagerError):

@@ -31,6 +31,9 @@ from repro.exceptions import (
     FileNotFoundInStdchkError,
     ManagerRecoveringError,
     ManagerUnavailableError,
+    NotPrimaryError,
+    QuorumNotReachedError,
+    StaleEpochError,
     UnknownDatasetError,
 )
 from repro.manager.persistence import (
@@ -97,9 +100,18 @@ class MetadataManager(Endpoint):
         self.striping = striping if striping is not None else RoundRobinStriping()
         #: ``"primary"`` serves clients and benefactors; ``"standby"``
         #: (see :class:`~repro.manager.replication.StandbyManager`) applies
-        #: shipped journal records and refuses normal RPCs until promoted.
+        #: shipped journal records and refuses normal RPCs until promoted;
+        #: ``"fenced"`` is a deposed primary that learned of a successor and
+        #: refuses everything with a redirect.
         self.role = "primary"
         self.online = True
+        #: Monotonically increasing primary epoch.  Every promotion bumps it;
+        #: replication RPCs carry it and standbys reject stale epochs, so a
+        #: deposed primary that reawakens cannot split-brain the stream.
+        #: Persisted in snapshots and journaled at promotion time.
+        self.epoch = 1
+        #: Where the fencing successor serves (best hint), set by :meth:`fence`.
+        self.fenced_by: Optional[str] = None
         #: True while the manager replays its journal; RPCs fail fast with
         #: :class:`ManagerRecoveringError` instead of racing half-restored state.
         self.recovering = False
@@ -188,6 +200,13 @@ class MetadataManager(Endpoint):
 
     # ------------------------------------------------------------------ utils
     def _require_online(self) -> None:
+        if self.role == "fenced":
+            raise NotPrimaryError(
+                f"manager {self.manager_id} was deposed at epoch {self.epoch}; "
+                "a newer primary serves",
+                primary_address=self.fenced_by,
+                epoch=self.epoch,
+            )
         if self.recovering:
             raise ManagerRecoveringError(
                 f"manager {self.manager_id} is replaying its journal; retry shortly"
@@ -217,11 +236,38 @@ class MetadataManager(Endpoint):
             "role": self.role,
             "online": self.online,
             "recovering": self.recovering,
+            "epoch": self.epoch,
             "last_lsn": (
                 self._persistence.last_lsn if self._persistence is not None
                 else getattr(self._shipper, "last_lsn", 0)
             ),
         }
+
+    def fence(self, epoch: int, primary_address: Optional[str] = None
+              ) -> Dict[str, object]:
+        """Depose this manager: a successor serves under ``epoch``.
+
+        Served regardless of the liveness guards (like ``manager_status``) so
+        a supervisor can fence an old primary whatever state it is in.  An
+        ``epoch`` at or below our own is refused with
+        :class:`~repro.exceptions.StaleEpochError` — fencing only ever moves
+        the cluster forward.  Once fenced, every normal RPC answers
+        :class:`~repro.exceptions.NotPrimaryError` with the successor hint,
+        so clients and benefactors re-resolve instead of mutating a deposed
+        replica's state.
+        """
+        with self._meta_lock:
+            if epoch <= self.epoch and self.role == "primary":
+                raise StaleEpochError(
+                    f"manager {self.manager_id} is primary at epoch "
+                    f"{self.epoch}; refusing fence at {epoch}",
+                    epoch=self.epoch,
+                    primary_address=self.address,
+                )
+            self.epoch = max(self.epoch, int(epoch))
+            self.role = "fenced"
+            self.fenced_by = primary_address
+        return {"fenced": True, "epoch": self.epoch}
 
     def health(self) -> Dict[str, object]:
         """Role-aware health document (served regardless of liveness guards).
@@ -235,6 +281,8 @@ class MetadataManager(Endpoint):
         ready = self.role == "primary" and self.online and not self.recovering
         if self.role == "standby":
             status = "standby"
+        elif self.role == "fenced":
+            status = "fenced"
         elif self.recovering:
             status = "recovering"
         elif not self.online:
@@ -255,6 +303,7 @@ class MetadataManager(Endpoint):
             "component": "manager",
             "node_id": self.manager_id,
             "role": self.role,
+            "epoch": self.epoch,
             "status": status,
             "ready": ready,
             "online": self.online,
@@ -340,11 +389,18 @@ class MetadataManager(Endpoint):
                 # record permutation the primary did not serve.  Shipper
                 # failures are fail-stop like journal appends: a record the
                 # primary acknowledged but neither journaled nor shipped
-                # would be lost to every successor.
+                # would be lost to every successor.  Two exceptions are
+                # *answers*, not corruption, and must not take the node
+                # down: a missed ack quorum (state is consistent and locally
+                # durable — the client just must not see success) and a
+                # fencing rejection (a successor primary exists; this node
+                # already self-demoted and redirects).
                 try:
                     self._shipper.offer(
                         {"op": op, "data": payload}, lsn=lsn, durable=durable
                     )
+                except (QuorumNotReachedError, NotPrimaryError, StaleEpochError):
+                    raise
                 except Exception:
                     self.online = False
                     raise
@@ -473,7 +529,14 @@ class MetadataManager(Endpoint):
                 inventory_requested = any(
                     benefactor_id in holders for holders in self._corrupt.values()
                 )
-        return {"acknowledged": True, "inventory_requested": inventory_requested}
+        return {
+            "acknowledged": True,
+            "inventory_requested": inventory_requested,
+            # The serving epoch rides on every beat so a benefactor notices
+            # a promotion (epoch change) and re-registers even when the new
+            # primary happens to know it from the shipped stream.
+            "epoch": self.epoch,
+        }
 
     def report_benefactor_failure(self, benefactor_id: str) -> Dict[str, object]:
         """Clients report data-path failures so the manager reacts promptly."""

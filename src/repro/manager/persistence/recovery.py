@@ -176,6 +176,11 @@ def _apply_drop_benefactor(manager, data) -> None:
             version.chunk_map.drop_benefactor(data["benefactor_id"])
 
 
+def _apply_epoch(manager, data) -> None:
+    # Promotions journal their epoch bump; replay must never move backwards.
+    manager.epoch = max(getattr(manager, "epoch", 1), int(data["epoch"]))
+
+
 def _apply_corrupt_chunk(manager, data) -> None:
     chunk_id = data["chunk_id"]
     benefactor_id = data["benefactor_id"]
@@ -202,6 +207,7 @@ _APPLIERS: Dict[str, Callable] = {
     "gc": _apply_gc,
     "drop_benefactor": _apply_drop_benefactor,
     "corrupt_chunk": _apply_corrupt_chunk,
+    "epoch": _apply_epoch,
 }
 
 

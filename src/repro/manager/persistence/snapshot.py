@@ -129,6 +129,7 @@ def encode_manager_state(manager) -> Dict[str, object]:
     ]
     return {
         "format": SNAPSHOT_FORMAT,
+        "epoch": getattr(manager, "epoch", 1),
         "counters": {
             "session": manager._session_seq,
             "dataset": manager._dataset_seq,
@@ -224,3 +225,8 @@ def restore_manager_state(manager, state: Dict[str, object]) -> None:
     counters = state.get("counters", {})
     manager._session_seq = max(manager._session_seq, counters.get("session", 0))
     manager._dataset_seq = max(manager._dataset_seq, counters.get("dataset", 0))
+
+    # The primary epoch only ever moves forward — a restored snapshot must
+    # never roll a manager back behind an epoch it has already observed.
+    manager.epoch = max(getattr(manager, "epoch", 1),
+                        int(state.get("epoch", 1)))

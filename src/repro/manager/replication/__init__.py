@@ -13,7 +13,11 @@ transports, so a standby can be promoted when the primary dies:
 * :class:`StandbyManager` — a :class:`MetadataManager` that refuses normal
   client/benefactor RPCs with :class:`~repro.exceptions.NotPrimaryError`
   while applying shipped records, and whose :meth:`~StandbyManager.promote`
-  flips it into a serving primary at the last applied LSN.
+  flips it into a serving primary at the last applied LSN — under a bumped
+  epoch, so the deposed primary's stale stream is fenced off.
+* :class:`FailoverSupervisor` — subscribes to the cluster health monitor and
+  promotes the freshest standby automatically when the primary is declared
+  dead (flap-damped, deterministic standby selection).
 
 Clients pair this with :mod:`repro.client.failover` (backoff + primary
 re-discovery) so in-flight operations survive a primary death transparently.
@@ -21,5 +25,6 @@ re-discovery) so in-flight operations survive a primary death transparently.
 
 from repro.manager.replication.shipper import LogShipper
 from repro.manager.replication.standby import StandbyManager
+from repro.manager.replication.supervisor import FailoverSupervisor
 
-__all__ = ["LogShipper", "StandbyManager"]
+__all__ = ["FailoverSupervisor", "LogShipper", "StandbyManager"]

@@ -29,8 +29,14 @@ import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.exceptions import StdchkError
+from repro.exceptions import (
+    NotPrimaryError,
+    QuorumNotReachedError,
+    StaleEpochError,
+    StdchkError,
+)
 from repro.manager.persistence import encode_manager_state
+from repro.obs import component_logger
 
 #: Records retained for catch-up shipping before a lagging standby is forced
 #: into a snapshot resync.
@@ -72,6 +78,7 @@ class LogShipper:
         #: each record is shipped; exceptions propagate (fail-stop), which is
         #: how the crash-point sweep kills the primary at record boundaries.
         self.ship_hook = None
+        self._log = component_logger("shipper", manager.manager_id)
 
         obs = manager.obs
         self._lag_gauge = obs.gauge(
@@ -100,6 +107,18 @@ class LogShipper:
             "manager_replication_ship_seconds_window",
             "Recent (sliding-window) per-standby ship latency.",
             labelnames=("standby",),
+        )
+        self._quorum_window = obs.windowed_histogram(
+            "manager_quorum_ack_seconds_window",
+            "Recent time to collect the standby-ack quorum per record.",
+        )
+        self._quorum_degrades = obs.counter(
+            "manager_quorum_degrades_total",
+            "Records acknowledged without quorum (quorum_degrade=async).",
+        )
+        self._quorum_failures = obs.counter(
+            "manager_quorum_failures_total",
+            "Records refused a client ack because quorum was unreachable.",
         )
 
     # ------------------------------------------------------------- membership
@@ -146,13 +165,63 @@ class LogShipper:
                 self._window.popleft()
             self._pending += 1
             batch = getattr(self.manager.config, "ship_batch_records", 1)
-            if durable or self._pending >= batch:
+            quorum = getattr(self.manager.config, "replication_quorum", 0)
+            if durable or self._pending >= batch or quorum > 0:
+                # Quorum mode ships synchronously: a record cannot collect
+                # standby acks while sitting in the batching buffer.
                 self.flush()
+            if quorum > 0:
+                self._await_quorum(lsn, quorum)
             if self.ship_hook is not None:
                 # Deliberately outside the per-standby error swallowing:
                 # hook errors are fail-stop, like journal append errors.
+                # Fired *after* the quorum wait, so a hook-injected crash
+                # models losing the primary between quorum-ack and
+                # client-ack.
                 self.ship_hook(lsn, record)
             return lsn
+
+    def _acks_for(self, lsn: int) -> int:
+        return sum(1 for link in self._standbys.values() if link.acked_lsn >= lsn)
+
+    def _await_quorum(self, lsn: int, quorum: int) -> None:
+        """Block until ``quorum`` standbys acked ``lsn`` or the timeout hits.
+
+        Runs under the shipper lock (and the primary's meta lock): shipping
+        is synchronous RPC work, so retrying :meth:`flush` here is what makes
+        progress — there is no background acker to wait on.  On timeout the
+        configured degrade policy decides between refusing the client ack
+        (``"fail"``) and falling back to async shipping with a breadcrumb
+        (``"async"``).
+        """
+        config = self.manager.config
+        started = time.perf_counter()
+        deadline = time.monotonic() + float(getattr(config, "quorum_timeout", 2.0))
+        while True:
+            acked = self._acks_for(lsn)
+            if acked >= quorum:
+                self._quorum_window.observe(time.perf_counter() - started)
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(0.01, remaining))
+            self.flush()
+        acked = self._acks_for(lsn)
+        degrade = getattr(config, "quorum_degrade", "fail")
+        if degrade == "async":
+            self._quorum_degrades.inc()
+            self._log.warning(
+                "quorum unreachable for lsn %d (%d/%d acks); "
+                "degrading to async shipping", lsn, acked, quorum,
+            )
+            return
+        self._quorum_failures.inc()
+        raise QuorumNotReachedError(
+            f"lsn {lsn} collected {acked}/{quorum} standby acks "
+            f"within {getattr(config, 'quorum_timeout', 2.0)}s",
+            acked=acked, required=quorum,
+        )
 
     def flush(self) -> None:
         """Ship every standby the stream suffix it has not acknowledged."""
@@ -166,6 +235,16 @@ class LogShipper:
                     self._ship_window.labels(standby=link.address).observe(
                         time.perf_counter() - started
                     )
+                except StaleEpochError as exc:
+                    # A standby under a newer primary fenced us: self-demote
+                    # instead of split-braining, and surface the hint.
+                    self.manager.fence(exc.epoch, exc.primary_address)
+                    raise NotPrimaryError(
+                        f"manager {self.manager.manager_id} deposed by "
+                        f"epoch {exc.epoch}",
+                        primary_address=exc.primary_address,
+                        epoch=exc.epoch,
+                    ) from exc
                 except StdchkError:
                     # Standby-side trouble (unreachable, promoted, …) must
                     # not take the primary down; it will resync on return.
@@ -189,6 +268,7 @@ class LogShipper:
             link.address, "replicate_records",
             records=[rec for _lsn, rec in suffix],
             from_lsn=suffix[0][0],
+            epoch=self.manager.epoch,
         )
         self._ships.inc()
         if answer.get("resync"):
@@ -204,6 +284,7 @@ class LogShipper:
         self.transport.call(
             link.address, "install_snapshot",
             state=state, lsn=self.last_lsn,
+            epoch=self.manager.epoch,
         )
         link.acked_lsn = self.last_lsn
         link.resyncs += 1

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.core.namespace import Namespace
 from repro.core.reservation import ReservationTable
-from repro.exceptions import ManagerError, NotPrimaryError
+from repro.exceptions import ManagerError, NotPrimaryError, StaleEpochError
 from repro.manager.manager import MetadataManager
 from repro.manager.persistence import (
     ManagerPersistence,
@@ -73,9 +73,29 @@ class StandbyManager(MetadataManager):
         status["last_lsn"] = max(int(status["last_lsn"]), self.applied_lsn)
         return status
 
+    def _check_replication_epoch(self, epoch: Optional[int]) -> None:
+        """Fence replication RPCs from deposed primaries (call under lock).
+
+        ``epoch=None`` (a pre-epoch caller) is accepted for compatibility;
+        otherwise a caller behind this node's epoch is rejected with
+        :class:`StaleEpochError` so it self-demotes, and a caller ahead of
+        it moves this node's epoch forward.
+        """
+        if epoch is None:
+            return
+        if int(epoch) < self.epoch:
+            hint = self.address if self.role == "primary" else None
+            raise StaleEpochError(
+                f"manager {self.manager_id} is at epoch {self.epoch}; "
+                f"rejecting replication from stale epoch {epoch}",
+                epoch=self.epoch, primary_address=hint,
+            )
+        self.epoch = max(self.epoch, int(epoch))
+
     # ------------------------------------------------------------- replication
     def replicate_records(self, records: List[Dict[str, object]],
-                          from_lsn: int) -> Dict[str, object]:
+                          from_lsn: int,
+                          epoch: Optional[int] = None) -> Dict[str, object]:
         """Apply a batch of shipped redo records (primary-facing RPC).
 
         Records already applied (``lsn <= applied_lsn``) are skipped, so the
@@ -84,6 +104,7 @@ class StandbyManager(MetadataManager):
         instead of applying out of order.
         """
         with self._meta_lock:
+            self._check_replication_epoch(epoch)
             if self.role != "standby":
                 raise ManagerError(
                     f"manager {self.manager_id} was promoted; "
@@ -105,9 +126,11 @@ class StandbyManager(MetadataManager):
             return {"applied_lsn": self.applied_lsn, "resync": False}
 
     def install_snapshot(self, state: Dict[str, object],
-                         lsn: int) -> Dict[str, object]:
+                         lsn: int,
+                         epoch: Optional[int] = None) -> Dict[str, object]:
         """Replace this standby's state with a full snapshot at ``lsn``."""
         with self._meta_lock:
+            self._check_replication_epoch(epoch)
             if self.role != "standby":
                 raise ManagerError(
                     f"manager {self.manager_id} was promoted; "
@@ -153,10 +176,18 @@ class StandbyManager(MetadataManager):
         start = time.perf_counter()
         with self._meta_lock:
             if self.role == "primary":
-                return {"promoted": False, "applied_lsn": self.applied_lsn}
+                return {
+                    "promoted": False,
+                    "applied_lsn": self.applied_lsn,
+                    "epoch": self.epoch,
+                }
             self.role = "primary"
             self.online = True
             self.recovering = False
+            # Take over under a strictly newer epoch: replication RPCs the
+            # deposed primary still sends now carry a stale epoch and bounce
+            # with StaleEpochError, which self-demotes it.
+            self.epoch += 1
             if journal_dir is not None and self._persistence is None:
                 persistence = ManagerPersistence(
                     journal_dir,
@@ -164,7 +195,10 @@ class StandbyManager(MetadataManager):
                     snapshot_every_n_records=self.config.snapshot_every_n_records,
                 )
                 persistence.attach_metrics(self.obs)
+                # The seed snapshot records the bumped epoch; the explicit
+                # journal record covers replicas streaming from this journal.
                 persistence.take_snapshot(encode_manager_state(self))
+                persistence.append("epoch", {"epoch": self.epoch}, durable=True)
                 self._persistence = persistence
                 self._recovered = True
         duration = time.perf_counter() - start
@@ -172,5 +206,6 @@ class StandbyManager(MetadataManager):
         return {
             "promoted": True,
             "applied_lsn": self.applied_lsn,
+            "epoch": self.epoch,
             "duration": duration,
         }

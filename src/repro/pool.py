@@ -223,6 +223,10 @@ class StdchkPool:
             client.enable_failover([standby.address])
         return standby
 
+    def standby_endpoints(self) -> Dict[str, str]:
+        """``standby_id -> address`` of every enrolled hot standby."""
+        return {sid: s.address for sid, s in self.standbys.items()}
+
     def kill_primary(self) -> MetadataManager:
         """Crash the primary abruptly (no clean handover, endpoint torn down).
 
@@ -252,9 +256,18 @@ class StdchkPool:
         if standby_id is None:
             standby_id = next(iter(self.standbys))
         standby = self.standbys.pop(standby_id)
-        if self.manager.online:
+        old = self.manager
+        if old.online:
             self.kill_primary()
         standby.promote(journal_dir=journal_dir)
+        # Fence the deposed primary under the successor epoch (direct object
+        # call — its endpoint is already torn down).  Best effort: a truly
+        # dead primary cannot split-brain anyway, and a zombie that resumes
+        # shipping gets fenced by the standbys' epoch checks instead.
+        try:
+            old.fence(standby.epoch, standby.address)
+        except StdchkError:
+            pass
         self.manager = standby
         self.replication_service.manager = standby
         self.garbage_collector.manager = standby
@@ -267,6 +280,7 @@ class StdchkPool:
         for client in self._clients:
             if client.directory is not None:
                 client.directory.note_primary(standby.address)
+                client.directory.note_epoch(standby.epoch)
         standby.obs.histogram(
             "manager_failover_seconds",
             "Wall-clock time of one standby promotion (pool-side view).",
@@ -577,6 +591,10 @@ class TcpDeployment:
         self._start_obs_server(standby_id, standby)
         return standby
 
+    def standby_endpoints(self) -> Dict[str, str]:
+        """``standby_id -> bound address`` of every enrolled hot standby."""
+        return dict(self.standby_addresses)
+
     def kill_primary(self) -> None:
         """Alias of :meth:`kill_manager` (failover vocabulary)."""
         self.kill_manager()
@@ -596,9 +614,16 @@ class TcpDeployment:
             standby_id = next(iter(self.standbys))
         standby = self.standbys.pop(standby_id)
         bound = self.standby_addresses.pop(standby_id)
-        if self.manager.online:
+        old = self.manager
+        if old.online:
             self.kill_manager()
         standby.promote(journal_dir=journal_dir)
+        # Fence the deposed primary object directly (its socket is gone);
+        # best effort — see StdchkPool.promote_standby.
+        try:
+            old.fence(standby.epoch, bound)
+        except StdchkError:
+            pass
         self.manager = standby
         self.manager_address = bound
         for bundle in self.maintenance.values():

@@ -109,6 +109,18 @@ class Transport(ABC):
     def unregister(self, address: str) -> None:
         """Remove the endpoint at ``address``."""
 
+    def probe(self, address: str, method: str, timeout: "float | None" = None,
+              /, **payload: Any) -> Any:
+        """Like :meth:`call`, but bounded by ``timeout`` where supported.
+
+        Failover probes must not hang on a black-holed endpoint (a host that
+        accepts connections but never answers).  Transports that can enforce
+        a deadline override this; the default simply delegates to
+        :meth:`call`, which is correct for in-process transports where a
+        local call cannot stall on the network.
+        """
+        return self.call(address, method, **payload)
+
     def proxy(self, address: str) -> "RemoteProxy":
         """Return a convenience proxy whose attribute calls become RPCs."""
         return RemoteProxy(self, address)

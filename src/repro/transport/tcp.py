@@ -57,18 +57,54 @@ class _RequestHandler(socketserver.BaseRequestHandler):
         while True:
             try:
                 method, payload = _recv_frame(self.request)
-            except (ProtocolError, ConnectionError, EOFError):
+            except (ProtocolError, ConnectionError, EOFError, OSError):
                 return
             try:
                 result = endpoint.dispatch(method, payload)
-                _send_frame(self.request, ("ok", result))
+                try:
+                    _send_frame(self.request, ("ok", result))
+                except (ConnectionError, OSError):
+                    return  # peer (or a server stop) severed the connection
             except Exception as exc:  # noqa: BLE001 - errors cross the wire
-                _send_frame(self.request, ("error", exc))
+                try:
+                    _send_frame(self.request, ("error", exc))
+                except (ConnectionError, OSError):
+                    return
 
 
 class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._active: set = set()
+        self._active_lock = threading.Lock()
+
+    def process_request(self, request, client_address) -> None:
+        with self._active_lock:
+            self._active.add(request)
+        super().process_request(request, client_address)
+
+    def close_request(self, request) -> None:
+        with self._active_lock:
+            self._active.discard(request)
+        super().close_request(request)
+
+    def close_active_connections(self) -> None:
+        """Sever every established connection (abrupt-crash semantics).
+
+        Stopping the listener alone leaves pooled client sockets attached to
+        live handler threads, so a "killed" endpoint would keep answering
+        RPCs over old connections — invisible to failure detectors.
+        """
+        with self._active_lock:
+            active = list(self._active)
+        for request in active:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
 
 class TcpServer:
@@ -92,6 +128,7 @@ class TcpServer:
     def stop(self) -> None:
         self._server.shutdown()
         self._server.server_close()
+        self._server.close_active_connections()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
@@ -280,6 +317,43 @@ class TcpTransport(Transport):
                                 attributes={"address": address}):
             tracing.inject(payload)
             return self._call(address, method, payload)
+
+    def probe(self, address: str, method: str, timeout: Optional[float] = None,
+              /, **payload: Any) -> Any:
+        """One-shot RPC with a hard deadline on every socket operation.
+
+        Uses a dedicated throwaway socket instead of the pool: a pooled
+        socket has no read timeout (RPCs may legitimately take long), so a
+        black-holed endpoint would hang a pooled call forever — and a
+        timed-out pooled socket could poison a later exchange with a stale
+        response frame.
+        """
+        if timeout is None:
+            return self.call(address, method, **payload)
+        host, _, port = address.partition(":")
+        try:
+            sock = socket.create_connection((host, int(port)), timeout=timeout)
+        except (OSError, ValueError) as exc:
+            raise EndpointUnreachableError(
+                f"cannot connect to {address}: {exc}", endpoint=address
+            ) from exc
+        try:
+            sock.settimeout(timeout)
+            _send_frame(sock, (method, payload))
+            status, result = _recv_frame(sock)
+        except (ConnectionError, ProtocolError, OSError) as exc:
+            raise EndpointUnreachableError(
+                f"probe of {address} failed: {exc}", endpoint=address
+            ) from exc
+        finally:
+            _close_quietly(sock)
+        if status == "ok":
+            return result
+        if status == "error" and isinstance(result, Exception):
+            raise result
+        raise ProtocolError(
+            f"malformed response from {address}: {status!r}", endpoint=address
+        )
 
     def _call(self, address: str, method: str, payload: Dict[str, Any]) -> Any:
         pool = self._pool(address)

@@ -160,6 +160,21 @@ class StdchkConfig:
     #: standbys before the mutating RPC returns); durable records (commit,
     #: abort, delete, …) always flush the buffer regardless.
     ship_batch_records: int = 1
+    #: Standby acknowledgements a mutating manager op must collect before it
+    #: is acknowledged to the client.  0 keeps the historical asynchronous
+    #: best-effort shipping (an unshipped suffix dies with the primary and is
+    #: recovered only by client session replay); >= 1 guarantees every
+    #: acknowledged record survives on at least that many standbys.
+    replication_quorum: int = 0
+    #: How long one mutating op waits (retrying ships) for the quorum before
+    #: the degrade policy applies.
+    quorum_timeout: float = 2.0
+    #: What to do when the quorum is unreachable within ``quorum_timeout``:
+    #: ``"fail"`` raises :class:`~repro.exceptions.QuorumNotReachedError`
+    #: toward the client (fail-fast — the op is applied and locally durable
+    #: but deliberately not acknowledged), ``"async"`` falls back to
+    #: best-effort shipping for that record with a metric/log breadcrumb.
+    quorum_degrade: str = "fail"
     #: First retry delay of the client failover backoff (seconds); doubles
     #: per attempt up to ``failover_backoff_max``.
     failover_backoff_base: float = 0.05
@@ -170,6 +185,16 @@ class StdchkConfig:
     #: Jitter fraction applied to each backoff delay (0 disables; 0.5 means
     #: delays are stretched by a uniform factor in [1.0, 1.5)).
     failover_jitter: float = 0.5
+    #: Per-candidate connect/RPC budget of one re-discovery probe, so a
+    #: single hung socket cannot consume the whole ``failover_deadline``.
+    #: 0 disables the bound (historical behavior: probes share the caller's
+    #: transport timeouts, which may be none at all).
+    failover_probe_timeout: float = 1.0
+    #: Minimum spacing between two automatic promotions by the
+    #: :class:`~repro.manager.replication.FailoverSupervisor` — the flap
+    #: damper: a primary bouncing in and out of ``dead`` cannot trigger a
+    #: promotion storm.
+    failover_cooldown: float = 5.0
 
     #: Fraction of client root operations (write_file/read_file) that open a
     #: trace; child spans always follow the parent decision, so a sampled-out
@@ -267,6 +292,14 @@ class StdchkConfig:
             raise ConfigurationError("snapshot_every_n_records must be positive")
         if self.ship_batch_records <= 0:
             raise ConfigurationError("ship_batch_records must be positive")
+        if self.replication_quorum < 0:
+            raise ConfigurationError("replication_quorum must be non-negative")
+        if self.quorum_timeout <= 0:
+            raise ConfigurationError("quorum_timeout must be positive")
+        if self.quorum_degrade not in ("fail", "async"):
+            raise ConfigurationError(
+                "quorum_degrade must be 'fail' or 'async'"
+            )
         if self.failover_backoff_base <= 0:
             raise ConfigurationError("failover_backoff_base must be positive")
         if self.failover_backoff_max < self.failover_backoff_base:
@@ -277,6 +310,12 @@ class StdchkConfig:
             raise ConfigurationError("failover_deadline must be positive")
         if self.failover_jitter < 0:
             raise ConfigurationError("failover_jitter must be non-negative")
+        if self.failover_probe_timeout < 0:
+            raise ConfigurationError(
+                "failover_probe_timeout must be non-negative"
+            )
+        if self.failover_cooldown < 0:
+            raise ConfigurationError("failover_cooldown must be non-negative")
         if not (0.0 <= self.trace_sample_rate <= 1.0):
             raise ConfigurationError("trace_sample_rate must be in [0, 1]")
         if self.read_load_halflife < 0:

@@ -170,9 +170,14 @@ class TestHeartbeatService:
     def test_unchanged_digest_skips_reconciliation(self, pool: StdchkPool):
         service = pool.maintenance["benefactor-00"].heartbeat
         answer = service.run_once()
-        assert answer == {"acknowledged": True, "inventory_requested": False}
+        assert answer == {
+            "acknowledged": True,
+            "inventory_requested": False,
+            "epoch": 1,
+        }
         assert service.beats == 1
         assert service.reconciles == 0
+        assert service.last_epoch == 1
 
     def test_diverged_digest_triggers_one_reconcile(self, pool: StdchkPool):
         client = pool.client("writer")
@@ -212,6 +217,23 @@ class TestHeartbeatService:
         service = pool.maintenance["benefactor-00"].heartbeat
         assert service.run_once() is None
         assert service.beats == 0
+
+    def test_epoch_change_triggers_reregistration(self, pool: StdchkPool):
+        service = pool.maintenance["benefactor-00"].heartbeat
+        service.run_once()
+        assert service.last_epoch == 1
+        assert service.reregistrations == 0
+        # A failover lands behind the same address (directory re-point, VIP,
+        # in-process promotion): the answering manager's epoch moved.  The
+        # new incarnation's soft state may predate this node, so the next
+        # beat re-registers the full inventory.
+        pool.manager.epoch = 2
+        service.run_once()
+        assert service.reregistrations == 1
+        assert service.last_epoch == 2
+        # A stable epoch does not keep re-registering.
+        service.run_once()
+        assert service.reregistrations == 1
 
 
 class TestGossipService:

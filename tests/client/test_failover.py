@@ -9,7 +9,9 @@ and a session the promoted standby never saw is replayed wholesale.
 
 from __future__ import annotations
 
+import socket
 import threading
+import time
 
 import pytest
 
@@ -22,6 +24,8 @@ from repro.exceptions import (
     UnknownDatasetError,
 )
 from repro.obs import MetricsRegistry
+from repro.transport.base import Endpoint
+from repro.transport.tcp import TcpServer, TcpTransport
 from tests.conftest import make_bytes
 
 SMALL = dict(
@@ -113,6 +117,34 @@ class TestManagerDirectory:
         directory = ManagerDirectory(["m0", "m1", "m2"])
         assert directory.rediscover(transport) is False
         assert directory.current() == "m0"  # unchanged
+
+    def test_rediscover_prefers_higher_epoch_over_higher_lsn(self):
+        # A deposed-but-unaware primary may still report the larger LSN;
+        # the successor's epoch dominates the selection.
+        transport = ScriptedTransport({
+            "m1": [dict(primary_status(lsn=50), epoch=1)],
+            "m2": [dict(primary_status(lsn=10), epoch=2)],
+        })
+        directory = ManagerDirectory(["m1", "m2"])
+        assert directory.rediscover(transport) is True
+        assert directory.current() == "m2"
+        assert directory.known_epoch() == 2
+
+    def test_rediscover_skips_primaries_behind_a_known_epoch(self):
+        transport = ScriptedTransport({
+            "m0": [dict(primary_status(lsn=50), epoch=1)],
+        })
+        directory = ManagerDirectory(["m0"])
+        directory.note_epoch(2)  # a successor exists somewhere
+        assert directory.rediscover(transport) is False
+        assert directory.current() == "m0"  # unchanged, never re-selected
+
+    def test_note_epoch_never_moves_backwards(self):
+        directory = ManagerDirectory(["m0"])
+        directory.note_epoch(5)
+        directory.note_epoch(3)
+        directory.note_epoch(None)
+        assert directory.known_epoch() == 5
 
 
 # ---------------------------------------------------------------- transport
@@ -210,6 +242,19 @@ class TestFailoverTransport:
         assert directory.covers("m7")
         assert directory.current() == "m7"
 
+    def test_epoch_hint_from_manager_errors_is_absorbed(self):
+        # A fenced manager's NotPrimaryError carries the successor epoch;
+        # the retry loop feeds it into the directory so re-discovery never
+        # falls back onto a stale primary.
+        hint = NotPrimaryError("fenced", primary_address="m7", epoch=3)
+        transport, _inner, directory, _, _ = self.make({
+            "m0": [hint],
+            "m7": [dict(primary_status(lsn=1), epoch=3), "ok"],
+        }, candidates=("m0",))
+        assert transport.call("m0", "get_chunk_map") == "ok"
+        assert directory.known_epoch() == 3
+        assert directory.current() == "m7"
+
     def test_retry_metrics_are_recorded(self):
         registry = MetricsRegistry(component="client", node_id="c0")
         inner = ScriptedTransport({
@@ -228,6 +273,73 @@ class TestFailoverTransport:
         assert retries.labels(method="get_chunk_map").value == 1
         stall = registry.histogram("client_failover_stall_seconds", "")
         assert stall.count == 1
+
+
+# ------------------------------------------------------------ probe timeout
+class _StatusEndpoint(Endpoint):
+    """Minimal TCP endpoint answering ``manager_status`` with a fixed dict."""
+
+    def __init__(self, status):
+        self._status = status
+
+    def manager_status(self):
+        return self._status
+
+
+class TestProbeTimeout:
+    """Re-discovery against black-holed endpoints (regression).
+
+    A black-holed endpoint accepts connections but never answers; the pooled
+    TCP call path has no read timeout (RPCs may legitimately take long), so
+    before ``Transport.probe`` a single such candidate hung the entire
+    failover scan forever.
+    """
+
+    def black_hole(self):
+        hole = socket.socket()
+        hole.bind(("127.0.0.1", 0))
+        hole.listen(1)
+        host, port = hole.getsockname()
+        return hole, f"{host}:{port}"
+
+    def test_tcp_probe_times_out_instead_of_hanging(self):
+        hole, address = self.black_hole()
+        transport = TcpTransport()
+        try:
+            started = time.monotonic()
+            with pytest.raises(EndpointUnreachableError):
+                transport.probe(address, "manager_status", 0.2)
+            assert time.monotonic() - started < 2.0
+        finally:
+            transport.close()
+            hole.close()
+
+    def test_rediscover_skips_black_holed_candidate_within_budget(self):
+        hole, hole_address = self.black_hole()
+        server = TcpServer(_StatusEndpoint(
+            dict(primary_status(lsn=4), epoch=2))).start()
+        transport = TcpTransport()
+        try:
+            directory = ManagerDirectory([hole_address, server.address])
+            started = time.monotonic()
+            assert directory.rediscover(transport, probe_timeout=0.2) is True
+            assert time.monotonic() - started < 2.0
+            assert directory.current() == server.address
+            assert directory.known_epoch() == 2
+        finally:
+            transport.close()
+            server.stop()
+            hole.close()
+
+    def test_probe_without_timeout_uses_the_pooled_call_path(self):
+        server = TcpServer(_StatusEndpoint(primary_status(lsn=1))).start()
+        transport = TcpTransport()
+        try:
+            status = transport.probe(server.address, "manager_status", None)
+            assert status["last_lsn"] == 1
+        finally:
+            transport.close()
+            server.stop()
 
 
 # ------------------------------------------------------------------- wiring

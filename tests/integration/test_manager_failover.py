@@ -110,6 +110,99 @@ class TestCrashPointSweep:
         assert sorted(client.listdir("/app")) == ["ckpt.N0.T1", "ckpt.N0.T2"]
 
 
+class TestQuorumCrashPointSweep:
+    """Zero acknowledged-commit loss with ``replication_quorum >= 1``.
+
+    The shipper fires ``ship_hook`` *after* the quorum wait, so a hook kill
+    models the narrowest loss window there is: the primary dies between
+    quorum-ack and client-ack.  With quorum >= 1 every record that reached
+    that window is already applied on the standby, so the promoted standby's
+    LSN must cover the kill boundary — at *every* boundary.  The async
+    contrast test below shows the same sweep leaking records when shipping
+    is buffered, which is exactly the window quorum closes.
+    """
+
+    def lsn_at_promotion(self, kill_at: int, data: bytes, **overrides) -> int:
+        """One kill: report the promoted standby's LSN at takeover time.
+
+        Captured inside the hook, before the client's retry/replay tops the
+        standby back up — this is the honest measure of what survived.
+        """
+        pool = StdchkPool(benefactor_count=4, config=sweep_config(**overrides))
+        pool.add_standby("standby-0")
+        client = pool.client("survivor")
+        state = {"count": 0, "killed": False, "lsn": -1}
+
+        def hook(lsn, record):
+            state["count"] += 1
+            if state["count"] == kill_at and not state["killed"]:
+                state["killed"] = True
+                pool.kill_primary()
+                promoted = pool.promote_standby()
+                state["lsn"] = promoted.applied_lsn
+                raise EndpointUnreachableError(
+                    "primary died between quorum-ack and client-ack")
+
+        pool.manager.shipper.ship_hook = hook
+        client.write_file("/app/ckpt.N0.T1", data)
+        assert state["killed"], f"sweep never reached boundary {kill_at}"
+        assert client.read_file("/app/ckpt.N0.T1") == data
+        return state["lsn"]
+
+    def test_no_acknowledged_record_lost_at_any_boundary(self):
+        data = make_bytes(4 * CHUNK, seed=41)
+        total = count_journal_records(data, replication_quorum=1)
+        assert total >= 6
+        for kill_at in range(1, total + 1):
+            lsn = self.lsn_at_promotion(kill_at, data, replication_quorum=1)
+            assert lsn >= kill_at, (
+                f"standby promoted at LSN {lsn} lost quorum-acked record "
+                f"{kill_at}"
+            )
+
+    def test_async_buffered_shipping_leaves_the_loss_window_open(self):
+        # Documented contrast, not a bug: with buffered async shipping the
+        # promoted standby can be *behind* the kill boundary — the journaled
+        # records were acknowledged locally but never left the primary.  The
+        # client's session replay still recovers the data end to end (the
+        # read-back assertion inside the helper), but the gap quorum closes
+        # is real and measurable.
+        data = make_bytes(3 * CHUNK, seed=42)
+        total = count_journal_records(data, ship_batch_records=8)
+        gaps = [
+            kill_at - self.lsn_at_promotion(kill_at, data,
+                                            ship_batch_records=8)
+            for kill_at in range(1, total + 1)
+        ]
+        assert max(gaps) > 0, "expected at least one boundary with lag"
+
+    def test_quorum_sweep_survivor_keeps_writing(self):
+        data = make_bytes(3 * CHUNK, seed=43)
+        pool = StdchkPool(benefactor_count=4,
+                          config=sweep_config(replication_quorum=1))
+        pool.add_standby("standby-0")
+        client = pool.client("survivor")
+        state = {"count": 0, "killed": False}
+
+        def hook(lsn, record):
+            state["count"] += 1
+            if state["count"] == 3 and not state["killed"]:
+                state["killed"] = True
+                pool.kill_primary()
+                pool.promote_standby()
+                raise EndpointUnreachableError("primary died mid-write")
+
+        pool.manager.shipper.ship_hook = hook
+        client.write_file("/app/ckpt.N0.T1", data)
+        assert state["killed"]
+        # The promoted primary has no standbys yet; quorum gating only
+        # applies while a shipper is attached, so writes keep flowing.
+        later = make_bytes(2 * CHUNK, seed=44)
+        client.write_file("/app/ckpt.N0.T2", later)
+        assert client.read_file("/app/ckpt.N0.T2") == later
+        assert pool.manager.epoch == 2
+
+
 class TestTcpFailover:
     def test_kill_primary_mid_write_over_tcp(self, tmp_path):
         # The acceptance scenario: 1 primary + 1 standby over real sockets,

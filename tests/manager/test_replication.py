@@ -15,6 +15,8 @@ from repro import StdchkConfig, StdchkPool
 from repro.exceptions import (
     EndpointUnreachableError,
     NotPrimaryError,
+    QuorumNotReachedError,
+    StaleEpochError,
 )
 from repro.manager.manager import MetadataManager
 from repro.manager.replication import LogShipper, StandbyManager
@@ -276,3 +278,184 @@ class TestPromotion:
         promoted = pool.promote_standby()
         online = promoted.registry.online()
         assert len(online) == len(pool.benefactors)
+
+
+# ------------------------------------------------------------------- quorum
+class TestQuorumReplication:
+    def test_quorum_write_waits_for_standby_acks(self):
+        pool = make_pool(replication_quorum=1)
+        standby = pool.add_standby("standby-0")
+        client = pool.client("c0")
+        data = make_bytes(200 * 1024, seed=20)
+        client.write_file("/app/a.N0.T1", data)
+        shipper = pool.manager.shipper
+        # Every acknowledged record reached the standby before the client ack.
+        assert shipper.acked_lsn(standby.address) == shipper.last_lsn
+        assert standby.namespace.file_exists("/app/a.N0.T1")
+        window = pool.manager.obs.windowed_histogram(
+            "manager_quorum_ack_seconds_window", "")
+        assert window.summary()["count"] > 0
+
+    def test_quorum_overrides_batching(self):
+        # A large ship batch must not delay quorum collection: quorum mode
+        # ships synchronously on every record.
+        pool = make_pool(replication_quorum=1, ship_batch_records=64)
+        standby = pool.add_standby("standby-0")
+        pool.manager.make_folder("/app")
+        assert standby.namespace.folder_exists("/app")
+
+    def test_fail_policy_refuses_ack_when_quorum_unreachable(self):
+        pool = make_pool(replication_quorum=1, quorum_timeout=0.05)
+        standby = pool.add_standby("standby-0")
+        pool.transport.disconnect(standby.address)
+        with pytest.raises(QuorumNotReachedError) as exc_info:
+            pool.manager.make_folder("/app")
+        assert exc_info.value.acked == 0
+        assert exc_info.value.required == 1
+        # The op is applied and locally consistent — only the ack is refused
+        # — and the manager keeps serving (no fail-stop).
+        assert pool.manager.online
+        assert pool.manager.namespace.folder_exists("/app")
+        failures = pool.manager.obs.counter(
+            "manager_quorum_failures_total", "").value
+        assert failures >= 1
+
+    def test_async_degrade_proceeds_with_breadcrumb(self):
+        pool = make_pool(replication_quorum=1, quorum_timeout=0.05,
+                         quorum_degrade="async")
+        standby = pool.add_standby("standby-0")
+        pool.transport.disconnect(standby.address)
+        pool.manager.make_folder("/app")  # acked despite the missing quorum
+        degrades = pool.manager.obs.counter(
+            "manager_quorum_degrades_total", "").value
+        assert degrades >= 1
+        # The standby catches up once it returns (async semantics).
+        pool.transport.reconnect(standby.address)
+        pool.manager.make_folder("/later")
+        assert standby.namespace.folder_exists("/app")
+
+    def test_quorum_of_two_needs_both_standbys(self):
+        pool = make_pool(replication_quorum=2, quorum_timeout=0.05)
+        pool.add_standby("standby-0")
+        lagging = pool.add_standby("standby-1")
+        pool.manager.make_folder("/both")  # both reachable: acked
+        pool.transport.disconnect(lagging.address)
+        with pytest.raises(QuorumNotReachedError) as exc_info:
+            pool.manager.make_folder("/one-short")
+        assert exc_info.value.acked == 1
+
+    def test_quorum_retry_covers_transient_standby_outage(self):
+        # The quorum wait re-flushes until the deadline: a standby that
+        # returns within the timeout lets the op succeed.
+        pool = make_pool(replication_quorum=1, quorum_timeout=5.0)
+        standby = pool.add_standby("standby-0")
+        pool.transport.disconnect(standby.address)
+        calls = {"n": 0}
+        original = pool.transport.call
+
+        def flaky(address, method, /, **payload):
+            if address == standby.address and method == "replicate_records":
+                calls["n"] += 1
+                if calls["n"] >= 2:
+                    pool.transport.reconnect(standby.address)
+            return original(address, method, **payload)
+
+        pool.manager.shipper.transport = type(
+            "T", (), {"call": staticmethod(flaky)})()
+        pool.manager.make_folder("/app")
+        assert standby.namespace.folder_exists("/app")
+
+
+# -------------------------------------------------------------------- epoch
+class TestEpochFencing:
+    def test_promotion_bumps_epoch(self):
+        pool = make_pool()
+        pool.add_standby("standby-0")
+        pool.kill_primary()
+        promoted = pool.promote_standby()
+        assert promoted.epoch == 2
+        assert promoted.manager_status()["epoch"] == 2
+        assert promoted.health()["epoch"] == 2
+
+    def test_deposed_primary_is_fenced_by_promotion(self):
+        pool = make_pool()
+        old = pool.manager
+        pool.add_standby("standby-0")
+        pool.kill_primary()
+        promoted = pool.promote_standby()
+        assert old.role == "fenced"
+        assert old.epoch == promoted.epoch
+        with pytest.raises(NotPrimaryError) as exc_info:
+            old.make_folder("/zombie")
+        assert exc_info.value.epoch == promoted.epoch
+        assert exc_info.value.primary_address == promoted.address
+        assert old.health()["status"] == "fenced"
+
+    def test_fence_refuses_stale_epoch_on_live_primary(self):
+        pool = make_pool()
+        with pytest.raises(StaleEpochError) as exc_info:
+            pool.manager.fence(1)  # not newer than the primary's own epoch
+        assert exc_info.value.primary_address == pool.manager.address
+        assert pool.manager.role == "primary"
+        assert pool.manager.fence(7)["epoch"] == 7
+        assert pool.manager.role == "fenced"
+
+    def test_standby_rejects_stale_epoch_stream(self):
+        transport = InProcessTransport()
+        standby = StandbyManager(transport=transport, manager_id="standby")
+        standby.epoch = 3
+        record = {"op": "make_folder", "data": {
+            "path": "/app", "retention_kind": None,
+            "purge_after": 3600.0, "keep_last": 1, "t": 0.0,
+        }}
+        with pytest.raises(StaleEpochError) as exc_info:
+            transport.call(standby.address, "replicate_records",
+                           records=[record], from_lsn=1, epoch=2)
+        assert exc_info.value.epoch == 3
+        assert not standby.namespace.folder_exists("/app")
+        # A newer epoch is adopted and the batch applies.
+        answer = transport.call(standby.address, "replicate_records",
+                                records=[record], from_lsn=1, epoch=4)
+        assert answer["applied_lsn"] == 1
+        assert standby.epoch == 4
+
+    def test_zombie_primary_self_demotes_on_stale_ship(self):
+        transport = InProcessTransport()
+        clock = VirtualClock()
+        primary = MetadataManager(transport=transport, clock=clock,
+                                  manager_id="primary")
+        shipper = LogShipper(primary, transport=transport)
+        primary.attach_shipper(shipper)
+        standby = StandbyManager(transport=transport, clock=clock,
+                                 manager_id="standby")
+        shipper.add_standby(standby.address)
+        # The standby is promoted behind the primary's back (e.g. by a
+        # supervisor that considered the primary dead).
+        assert standby.promote()["epoch"] == 2
+        # The zombie's next mutation ships under the stale epoch, bounces,
+        # and self-demotes instead of split-braining.
+        with pytest.raises(NotPrimaryError) as exc_info:
+            primary.make_folder("/zombie")
+        assert primary.role == "fenced"
+        assert primary.epoch == 2
+        assert primary.fenced_by == standby.address
+        assert exc_info.value.primary_address == standby.address
+        assert primary.online  # fenced, not fail-stopped
+
+    def test_epoch_survives_restart_from_promoted_journal(self, tmp_path):
+        pool = make_pool()
+        pool.add_standby("standby-0")
+        client = pool.client("c0")
+        client.write_file("/app/a.N0.T1", make_bytes(70 * 1024, seed=21))
+        pool.kill_primary()
+        promoted_dir = tmp_path / "promoted-wal"
+        promoted = pool.promote_standby(journal_dir=str(promoted_dir))
+        assert promoted.epoch == 2
+        promoted.close_persistence()
+        config = StdchkConfig(**SMALL, journal_dir=str(promoted_dir))
+        restarted = MetadataManager(
+            transport=InProcessTransport(), config=config,
+            manager_id="restarted",
+        )
+        assert restarted.epoch == 2
+        assert restarted.namespace.file_exists("/app/a.N0.T1")
